@@ -1,0 +1,40 @@
+# EcoCharge build targets. Everything is stdlib Go; no external tools.
+
+GO ?= go
+
+.PHONY: all build test race vet bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/cknn/ ./internal/eis/ ./internal/sim/
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation figure (paper Figs. 6-9 + the design,
+# horizon, and scalability supplements) as text tables.
+figures:
+	$(GO) run ./cmd/ecobench -fig all -scale 0.002 -reps 5
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/taxi_idle
+	$(GO) run ./examples/commute
+	$(GO) run ./examples/server_mode
+	$(GO) run ./examples/fleet_balance
+	$(GO) run ./examples/custom_world
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

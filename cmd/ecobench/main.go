@@ -1,0 +1,154 @@
+// Command ecobench regenerates the paper's evaluation figures (Figs. 6–9)
+// as text tables: for every dataset it runs the compared methods and prints
+// SC% (of the Brute-Force optimum) and per-query CPU time F_t, mean ±
+// standard deviation over repetitions. The extra "design" figure isolates
+// EcoCharge's own design choices (cache, interval approximation).
+//
+// Example:
+//
+//	ecobench -fig all -scale 0.002 -reps 10 -csv results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ecocharge/internal/experiment"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, design, horizon or all")
+		scale = flag.Float64("scale", 0.002, "trip-count scale relative to the paper's full datasets")
+		seed  = flag.Int64("seed", 42, "scenario seed")
+		reps  = flag.Int("reps", 5, "measurement repetitions (paper: ~10)")
+		trips = flag.Int("trips", 8, "trips sampled per repetition")
+		k     = flag.Int("k", 3, "chargers per Offering Table")
+		csvP  = flag.String("csv", "", "also export all measurements to this CSV file")
+	)
+	flag.Parse()
+
+	cfg := experiment.RunConfig{Repetitions: *reps, TripsPerRep: *trips, K: *k}
+	if err := run(*fig, *scale, *seed, cfg, *csvP); err != nil {
+		fmt.Fprintln(os.Stderr, "ecobench:", err)
+		os.Exit(1)
+	}
+}
+
+// figureSpec binds a figure id to its runner and title.
+type figureSpec struct {
+	id       string
+	title    string
+	ablation bool // use the ablation printer (shares columns)
+	run      func(sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error)
+}
+
+func figures() []figureSpec {
+	return []figureSpec{
+		{
+			id:    "6",
+			title: "Figure 6 — Performance Evaluation (all methods, R=50km Q=5km, equal weights)",
+			run:   experiment.RunPerformance,
+		},
+		{
+			id:    "7",
+			title: "Figure 7 — R-opt Evaluation (EcoCharge, R ∈ {25, 50, 75} km)",
+			run: func(sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error) {
+				return experiment.RunROpt(sc, cfg, []float64{25, 50, 75})
+			},
+		},
+		{
+			id:    "8",
+			title: "Figure 8 — Q-opt Evaluation (EcoCharge, Q ∈ {5, 10, 15} km)",
+			run: func(sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error) {
+				return experiment.RunQOpt(sc, cfg, []float64{5, 10, 15})
+			},
+		},
+		{
+			id:       "9",
+			title:    "Figure 9 — Ablation of Weight Parameters (AWE/OSC/OA/ODC)",
+			ablation: true,
+			run:      experiment.RunAblation,
+		},
+		{
+			id:    "horizon",
+			title: "Horizon Sweep — EcoCharge planning h ahead vs a fresh-forecast oracle",
+			run: func(sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error) {
+				return experiment.RunHorizonSweep(sc, cfg, []time.Duration{0, 2 * time.Hour, 6 * time.Hour, 24 * time.Hour})
+			},
+		},
+		{
+			id:    "design",
+			title: "Design Ablation — EcoCharge variants (cache off / exact intervals)",
+			run:   experiment.RunDesignAblation,
+		},
+	}
+}
+
+func run(fig string, scale float64, seed int64, cfg experiment.RunConfig, csvPath string) error {
+	valid := false
+	for _, spec := range figures() {
+		if fig == "all" || fig == spec.id {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("unknown figure %q (want one of %s)", fig,
+			strings.Join([]string{"6", "7", "8", "9", "design", "horizon", "all"}, ", "))
+	}
+
+	scenarios, err := experiment.BuildAllScenarios(scale, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenarios at scale %g (trips per dataset: ", scale)
+	for i, sc := range scenarios {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s=%d", sc.Name, len(sc.Trips))
+	}
+	fmt.Println(")")
+	fmt.Println()
+
+	var exported []experiment.Measurement
+	for _, spec := range figures() {
+		if fig != "all" && fig != spec.id {
+			continue
+		}
+		var all []experiment.Measurement
+		for _, sc := range scenarios {
+			ms, err := spec.run(sc, cfg)
+			if err != nil {
+				return err
+			}
+			all = append(all, ms...)
+		}
+		if spec.ablation {
+			err = experiment.PrintAblation(os.Stdout, spec.title, all)
+		} else {
+			err = experiment.PrintFigure(os.Stdout, spec.title, all)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		exported = append(exported, all...)
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiment.WriteMeasurementsCSV(f, exported); err != nil {
+			return fmt.Errorf("exporting CSV: %w", err)
+		}
+		fmt.Printf("exported %d measurements to %s\n", len(exported), csvPath)
+	}
+	return nil
+}

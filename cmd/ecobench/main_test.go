@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"ecocharge/internal/experiment"
+)
+
+func TestRunUnknownFigure(t *testing.T) {
+	cfg := experiment.RunConfig{Repetitions: 1, TripsPerRep: 1}
+	if err := run("42", 0.0005, 1, cfg, ""); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario sweep is slow")
+	}
+	cfg := experiment.RunConfig{Repetitions: 1, TripsPerRep: 1, SegmentLenM: 4000}
+	if err := run("6", 0.0003, 1, cfg, ""); err != nil {
+		t.Fatalf("run fig 6: %v", err)
+	}
+}

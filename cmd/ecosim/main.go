@@ -1,0 +1,96 @@
+// Command ecosim runs the discrete-event fleet simulator over a dataset
+// scenario, comparing uncoordinated EcoCharge recommendations against the
+// load-balancing extension (paper §VII future work) — plug conflicts,
+// charger utilization spread, and renewable energy hoarded.
+//
+// Example:
+//
+//	ecosim -dataset Oldenburg -vehicles 40 -chargers 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/ec"
+	"ecocharge/internal/sim"
+	"ecocharge/internal/trajectory"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "Oldenburg", "dataset profile: Oldenburg, California, T-drive, Geolife")
+		vehicles = flag.Int("vehicles", 40, "fleet size")
+		chargers = flag.Int("chargers", 25, "charger inventory size (small values force contention)")
+		seed     = flag.Int64("seed", 42, "scenario seed")
+		radius   = flag.Float64("r", 10, "search radius R in km")
+		accept   = flag.Float64("accept", 0.3, "minimum SC midpoint a driver accepts")
+		session  = flag.Duration("session", 45*time.Minute, "charging session length")
+	)
+	flag.Parse()
+
+	if err := run(*dataset, *vehicles, *chargers, *seed, *radius, *accept, *session); err != nil {
+		fmt.Fprintln(os.Stderr, "ecosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, vehicles, nChargers int, seed int64, radiusKM, accept float64, session time.Duration) error {
+	p, err := trajectory.ProfileByName(dataset)
+	if err != nil {
+		return err
+	}
+	g := p.BuildGraph(seed)
+	avail := ec.NewAvailabilityModel(seed + 1)
+	set, err := charger.Generate(g, avail, charger.GenConfig{N: nChargers, Seed: seed + 2})
+	if err != nil {
+		return err
+	}
+	env, err := cknn.NewEnv(g, set, ec.NewSolarModel(seed+3), avail, ec.NewTrafficModel(seed+4),
+		cknn.EnvConfig{RadiusM: radiusKM * 1000})
+	if err != nil {
+		return err
+	}
+	start := time.Date(2024, 6, 18, 9, 0, 0, 0, time.UTC)
+	trips, err := trajectory.Generate(g, trajectory.GenConfig{
+		N: vehicles, Seed: seed + 5, MinTripKM: 3, MaxTripKM: 15,
+		Start: start, Window: 45 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.Config{RadiusM: radiusKM * 1000, AcceptSC: accept, Session: session}
+	plain := sim.Run(env, trips, cfg)
+	cfg.Balanced = true
+	balanced := sim.Run(env, trips, cfg)
+
+	fmt.Printf("%s: %d vehicles over %d chargers (R=%.0f km, accept SC ≥ %.2f, %s sessions)\n\n",
+		dataset, vehicles, nChargers, radiusKM, accept, session)
+	fmt.Printf("%-16s %10s %10s %10s %12s %10s %8s\n",
+		"mode", "commits", "conflicts", "chargers", "clean kWh", "grid kWh", "gini")
+	print := func(name string, r sim.Result) {
+		fmt.Printf("%-16s %10d %10d %10d %12.1f %10.1f %8.3f\n",
+			name, r.Commits, r.Conflicts, len(r.PerCharger), r.CleanKWh, r.GridKWh, r.UtilizationGini)
+	}
+	print("uncoordinated", plain)
+	print("balanced", balanced)
+
+	if balanced.Conflicts < plain.Conflicts {
+		fmt.Printf("\nbalancing removed %d plug conflicts (%.0f%%)\n",
+			plain.Conflicts-balanced.Conflicts,
+			100*float64(plain.Conflicts-balanced.Conflicts)/float64(max(plain.Conflicts, 1)))
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation is slow")
+	}
+	if err := run("Oldenburg", 10, 15, 1, 10, 0.3, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadDataset(t *testing.T) {
+	if err := run("nope", 5, 5, 1, 10, 0.3, time.Minute); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

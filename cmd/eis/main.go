@@ -1,0 +1,67 @@
+// Command eis runs the EcoCharge Information Server (Mode 2 of the paper's
+// architecture): it assembles a dataset scenario and serves the JSON API on
+// the given address.
+//
+// Example:
+//
+//	eis -addr :8080 -dataset Oldenburg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"ecocharge/internal/eis"
+	"ecocharge/internal/experiment"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataset = flag.String("dataset", "Oldenburg", "dataset profile: Oldenburg, California, T-drive, Geolife")
+		seed    = flag.Int64("seed", 42, "scenario seed")
+		ttl     = flag.Duration("cache-ttl", 5*time.Minute, "server-side dynamic cache TTL")
+		cell    = flag.Float64("cache-cell", 2000, "server-side cache cell size in meters")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	handler, desc, err := newHandler(*dataset, *seed, *ttl, *cell, logger)
+	if err != nil {
+		logger.Fatalf("eis: %v", err)
+	}
+	logger.Printf("eis: serving %s on %s", desc, *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "eis:", err)
+		os.Exit(1)
+	}
+}
+
+// newHandler assembles the scenario and returns the EIS routes plus a
+// human-readable description of what is being served.
+func newHandler(dataset string, seed int64, ttl time.Duration, cellM float64, logger *log.Logger) (http.Handler, string, error) {
+	// The EIS only needs the environment; trips are client business.
+	sc, err := experiment.BuildScenario(dataset, 0.001, seed)
+	if err != nil {
+		return nil, "", fmt.Errorf("building scenario: %w", err)
+	}
+	srv := eis.NewServer(sc.Env, eis.ServerOptions{
+		CacheTTL:   ttl,
+		CacheCellM: cellM,
+		Logger:     logger,
+	})
+	mw := &eis.Middleware{MaxInFlight: 256, Logger: logger}
+	desc := fmt.Sprintf("%s (%d chargers, %d road nodes)",
+		sc.Name, sc.Env.Chargers.Len(), sc.Graph.NumNodes())
+	return mw.Wrap(srv.Handler()), desc, nil
+}

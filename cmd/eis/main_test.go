@@ -1,0 +1,50 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewHandlerServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario build is slow")
+	}
+	handler, desc, err := newHandler("Oldenburg", 1, time.Minute, 2000, nil)
+	if err != nil {
+		t.Fatalf("newHandler: %v", err)
+	}
+	if !strings.Contains(desc, "Oldenburg") {
+		t.Errorf("description %q", desc)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	// One real endpoint through the wired scenario.
+	resp2, err := http.Get(ts.URL + "/api/v1/chargers?lat=53.1&lon=8.2&radius_m=100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK || len(body) < 10 {
+		t.Fatalf("chargers endpoint: status %d body %d bytes", resp2.StatusCode, len(body))
+	}
+}
+
+func TestNewHandlerBadDataset(t *testing.T) {
+	if _, _, err := newHandler("nope", 1, time.Minute, 2000, nil); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package ecocharge
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart shows: build a world, rank, run a trip, compute split points.
+func TestFacadeEndToEnd(t *testing.T) {
+	graph := GenerateUrban(UrbanConfig{
+		Origin:  Point{Lat: 53.1, Lon: 8.2},
+		WidthKM: 6, HeightKM: 5, SpacingM: 500,
+		RemoveFrac: 0.05, JitterFrac: 0.2, ArterialEach: 4, Seed: 7,
+	})
+	solar := NewSolarModel(1)
+	avail := NewAvailabilityModel(2)
+	traffic := NewTrafficModel(3)
+	chargers, err := GenerateChargers(graph, avail, ChargerGenConfig{N: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(graph, chargers, solar, avail, traffic, EnvConfig{RadiusM: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Date(2024, 6, 18, 11, 0, 0, 0, time.UTC)
+	here := graph.Bounds().Center()
+	node := graph.NearestNode(here)
+	q := Query{Anchor: here, AnchorNode: node, ReturnNode: node, Now: now, ETABase: now, K: 3, RadiusM: 10000}
+
+	for _, m := range []Method{
+		NewEcoCharge(env, Options{RadiusM: 10000, ReuseDistM: 2000}),
+		NewBruteForce(env),
+		NewIndexQuadtree(env),
+		NewRandom(env, 9),
+	} {
+		table := m.Rank(q)
+		if len(table.Entries) == 0 {
+			t.Fatalf("%s: empty table", m.Name())
+		}
+	}
+
+	trips, err := GenerateTrips(graph, TripGenConfig{
+		N: 1, Seed: 5, MinTripKM: 4, MaxTripKM: 8, Start: now, Window: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	method := NewEcoCharge(env, Options{RadiusM: 10000, ReuseDistM: 2000})
+	results := RunTrip(env, method, trips[0], TripOptions{K: 3, SegmentLenM: 2000, RadiusM: 10000})
+	if len(results) == 0 {
+		t.Fatal("no segment results")
+	}
+	sl := SplitList(env, method, trips[0], TripOptions{K: 3, SegmentLenM: 2000, RadiusM: 10000})
+	if len(sl) == 0 {
+		t.Fatal("empty split list")
+	}
+	if w := EqualWeights(); w.L+w.A+w.D < 0.999 {
+		t.Errorf("EqualWeights = %+v", w)
+	}
+}

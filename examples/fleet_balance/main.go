@@ -1,0 +1,78 @@
+// Fleet balancing + smart grid: the paper's future-work extensions (§VII)
+// in action. A fleet of EVs drives through the same morning; without
+// coordination the best chargers collect queues, with the load-balancing
+// extension drivers are redirected before conflicts form. The smart-grid
+// advisor then re-ranks one driver's Offering Table around off-peak
+// tariffs and grid stress.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/ec"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+	"ecocharge/internal/sim"
+	"ecocharge/internal/smartgrid"
+	"ecocharge/internal/trajectory"
+)
+
+func main() {
+	graph := roadnet.GenerateUrban(roadnet.UrbanConfig{
+		Origin:  geo.Point{Lat: 53.06, Lon: 8.08},
+		WidthKM: 10, HeightKM: 8, SpacingM: 500,
+		RemoveFrac: 0.05, JitterFrac: 0.2, ArterialEach: 4, Seed: 51,
+	})
+	solar := ec.NewSolarModel(17)
+	avail := ec.NewAvailabilityModel(18)
+	traffic := ec.NewTrafficModel(19)
+	// A deliberately scarce inventory so the fleet contends for plugs.
+	chargers, err := charger.Generate(graph, avail, charger.GenConfig{N: 15, Seed: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := cknn.NewEnv(graph, chargers, solar, avail, traffic, cknn.EnvConfig{RadiusM: 10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	depart := time.Date(2024, 6, 18, 9, 0, 0, 0, time.UTC)
+	trips, err := trajectory.Generate(graph, trajectory.GenConfig{
+		N: 30, Seed: 52, MinTripKM: 4, MaxTripKM: 10,
+		Start: depart, Window: 30 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.Config{RadiusM: 10000, AcceptSC: 0.25}
+	plain := sim.Run(env, trips, cfg)
+	cfg.Balanced = true
+	balanced := sim.Run(env, trips, cfg)
+
+	fmt.Println("30-vehicle fleet over 15 chargers, one summer morning:")
+	fmt.Printf("  uncoordinated: %v\n", plain)
+	fmt.Printf("  balanced:      %v\n", balanced)
+	fmt.Printf("  → balancing spread sessions over %d chargers (vs %d) with %d plug conflicts (vs %d)\n\n",
+		len(balanced.PerCharger), len(plain.PerCharger), balanced.Conflicts, plain.Conflicts)
+
+	// Smart-grid advice for one driver's evening table.
+	evening := time.Date(2024, 6, 18, 18, 30, 0, 0, time.UTC)
+	node := graph.NearestNode(graph.Bounds().Center())
+	table := cknn.NewEcoCharge(env, cknn.EcoChargeOptions{RadiusM: 10000}).Rank(cknn.Query{
+		Anchor: graph.Node(node).P, AnchorNode: node, ReturnNode: node,
+		Now: evening, ETABase: evening, K: 3, RadiusM: 10000,
+	})
+	advisor := smartgrid.NewAdvisor(smartgrid.DefaultTariff(), smartgrid.NewGridSignal())
+	fmt.Println("grid-aware re-ranking of the 18:30 Offering Table:")
+	for i, ad := range advisor.Advise(table, evening) {
+		fmt.Printf("  %d. charger %-3d SC=%.2f GS=%.2f  price %s €/kWh (%s)  grid stress %s\n",
+			i+1, ad.Entry.Charger.ID, ad.Entry.SC.Mid(), ad.GS.Mid(), ad.Price, ad.Band, ad.Stress)
+	}
+	fmt.Printf("\n20 kWh session cost if charging now vs after 23:00: %s vs %s €\n",
+		advisor.SessionCost(evening, 20),
+		advisor.SessionCost(time.Date(2024, 6, 18, 23, 30, 0, 0, time.UTC), 20))
+}

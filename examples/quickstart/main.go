@@ -1,0 +1,57 @@
+// Quickstart: the minimal end-to-end EcoCharge flow — build a small urban
+// road network, place chargers with solar panels on it, and ask for the
+// top-3 most sustainable chargers around a position.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/ec"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+)
+
+func main() {
+	// 1. A road network: a 6×5 km synthetic urban grid.
+	graph := roadnet.GenerateUrban(roadnet.UrbanConfig{
+		Origin:  geo.Point{Lat: 53.10, Lon: 8.20}, // Oldenburg-ish
+		WidthKM: 6, HeightKM: 5, SpacingM: 500,
+		RemoveFrac: 0.05, JitterFrac: 0.2, ArterialEach: 4, Seed: 7,
+	})
+
+	// 2. The three Estimated Component models and 60 chargers.
+	solar := ec.NewSolarModel(1)
+	avail := ec.NewAvailabilityModel(2)
+	traffic := ec.NewTrafficModel(3)
+	chargers, err := charger.Generate(graph, avail, charger.GenConfig{N: 60, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The environment and the EcoCharge method (R = 10 km, Q = 2 km).
+	env, err := cknn.NewEnv(graph, chargers, solar, avail, traffic, cknn.EnvConfig{RadiusM: 10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	method := cknn.NewEcoCharge(env, cknn.EcoChargeOptions{RadiusM: 10000, ReuseDistM: 2000})
+
+	// 4. One query: "I am here now, rank the chargers."
+	now := time.Date(2024, 6, 18, 11, 0, 0, 0, time.UTC) // sunny late morning
+	here := graph.Bounds().Center()
+	node := graph.NearestNode(here)
+	table := method.Rank(cknn.Query{
+		Anchor: here, AnchorNode: node, ReturnNode: node,
+		Now: now, ETABase: now, K: 3, RadiusM: 10000,
+	})
+
+	fmt.Printf("Offering Table at %s (%s):\n", here, now.Format("15:04"))
+	for i, e := range table.Entries {
+		fmt.Printf("%d. charger %-3d %-9s panels %4.1f kW  SC=%s  (L=%s A=%s D=%s)\n",
+			i+1, e.Charger.ID, e.Charger.Rate, e.Charger.PanelKW,
+			e.SC, e.Comp.L, e.Comp.A, e.Comp.D)
+	}
+}

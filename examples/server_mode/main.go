@@ -1,0 +1,103 @@
+// Server mode (Mode 2): the EcoCharge Information Server computes Offering
+// Tables centrally and thin clients consume them over HTTP — the
+// architecture of paper §IV. The example starts an EIS in-process, drives
+// it with a client as a vehicle moves along a street, and shows the
+// server-side dynamic cache absorbing repeat queries.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/ec"
+	"ecocharge/internal/eis"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+)
+
+func main() {
+	// Server side: the EIS owns the consolidated environment.
+	graph := roadnet.GenerateUrban(roadnet.UrbanConfig{
+		Origin:  geo.Point{Lat: 53.08, Lon: 8.10},
+		WidthKM: 10, HeightKM: 8, SpacingM: 500,
+		RemoveFrac: 0.05, JitterFrac: 0.2, ArterialEach: 5, Seed: 41,
+	})
+	solar := ec.NewSolarModel(13)
+	avail := ec.NewAvailabilityModel(14)
+	traffic := ec.NewTrafficModel(15)
+	chargers, err := charger.Generate(graph, avail, charger.GenConfig{N: 120, Seed: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := cknn.NewEnv(graph, chargers, solar, avail, traffic, cknn.EnvConfig{RadiusM: 10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := httptest.NewServer(eis.NewServer(env, eis.ServerOptions{}).Handler())
+	defer server.Close()
+	fmt.Printf("EIS serving %d chargers at %s\n\n", chargers.Len(), server.URL)
+
+	// Client side: a vehicle polling the server as it drives east.
+	client := eis.NewClient(server.URL, server.Client())
+	ctx := context.Background()
+	if !client.Healthy(ctx) {
+		log.Fatal("EIS not healthy")
+	}
+
+	now := time.Date(2024, 6, 18, 10, 0, 0, 0, time.UTC)
+	pos := graph.Bounds().Center()
+	fmt.Println("time   position              top charger  SC(mid)  served-from")
+	for step := 0; step < 6; step++ {
+		resp, err := client.Offering(ctx, eis.OfferingRequest{
+			Lat: pos.Lat, Lon: pos.Lon, K: 3, RadiusM: 10000, Now: now,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(resp.Entries) == 0 {
+			log.Fatal("empty offering table")
+		}
+		top := resp.Entries[0]
+		source := "computed"
+		if resp.Cached {
+			source = "server cache"
+		}
+		sc := top.SC.Interval()
+		fmt.Printf("%s  (%.4f, %.4f)  charger %-4d  %.3f   %s\n",
+			now.Format("15:04"), pos.Lat, pos.Lon, top.ChargerID, sc.Mid(), source)
+
+		// Drive ~700 m east per minute; queries 2 and 3 land in the same
+		// cache cell, later ones move beyond it.
+		pos = geo.Destination(pos, 90, 700)
+		now = now.Add(time.Minute)
+	}
+
+	// The client can also inspect the raw component feeds (Mode 3 pulls).
+	first, err := client.Chargers(ctx, graph.Bounds().Center(), 2000)
+	if err != nil || len(first) == 0 {
+		log.Fatalf("charger pull failed: %v", err)
+	}
+	id := first[0].ID
+	weather, err := client.Weather(ctx, id, now.Add(time.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+	availResp, err := client.Availability(ctx, id, now.Add(time.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trafficResp, err := client.Traffic(ctx, now.Add(time.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nraw feeds for charger %d one hour ahead:\n", id)
+	fmt.Printf("  production: [%.1f, %.1f] kW\n", weather.ProductionKW.Min, weather.ProductionKW.Max)
+	fmt.Printf("  availability: [%.0f%%, %.0f%%]\n", availResp.Availability.Min*100, availResp.Availability.Max*100)
+	fmt.Printf("  arterial congestion: [%.2fx, %.2fx]\n",
+		trafficResp.Multiplier["arterial"].Min, trafficResp.Multiplier["arterial"].Max)
+}

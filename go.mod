@@ -1,0 +1,3 @@
+module ecocharge
+
+go 1.22

@@ -1,0 +1,157 @@
+package cknn
+
+import (
+	"math"
+	"time"
+
+	"ecocharge/internal/interval"
+	"ecocharge/internal/roadnet"
+)
+
+// DeroutingMaps hold the network expansions that price a visit to any
+// charger from one query point (Algorithm 1 lines 9–10): forward distances
+// from the anchor and reverse distances back to the return node, each under
+// the traffic model's lower and upper travel-time weights.
+//
+// Derouting is the *extra* travel the visit causes relative to staying on
+// the route: derout(b) = t(anchor→b) + t(b→return) − t(anchor→return),
+// which is zero for a charger on the route, matching the paper's "no
+// derouting occurs" case.
+type DeroutingMaps struct {
+	fwdLo, fwdHi map[roadnet.NodeID]float64 // seconds from anchor
+	retLo, retHi map[roadnet.NodeID]float64 // seconds to return node
+	baseLo       float64                    // anchor→return under lower weights
+	baseHi       float64                    // anchor→return under upper weights
+}
+
+// deroutingMaps runs the four bounded expansions. boundSec limits the
+// search effort; pass math.Inf(1) for the exhaustive (brute-force) variant.
+func (env *Env) deroutingMaps(q Query, boundSec float64) DeroutingMaps {
+	lower, upper := env.Traffic.WeightFuncs(q.ETABase, q.Now)
+	var d DeroutingMaps
+	d.fwdLo = env.Graph.DistancesWithin(q.AnchorNode, lower, boundSec)
+	d.fwdHi = env.Graph.DistancesWithin(q.AnchorNode, upper, boundSec)
+	ret := q.ReturnNode
+	if ret < 0 {
+		ret = q.AnchorNode
+	}
+	d.retLo = env.Graph.DistancesTo(ret, lower, boundSec)
+	d.retHi = env.Graph.DistancesTo(ret, upper, boundSec)
+	d.baseLo = lookup(d.fwdLo, ret, math.Inf(1))
+	d.baseHi = lookup(d.fwdHi, ret, math.Inf(1))
+	if math.IsInf(d.baseLo, 1) {
+		// Return node unreachable within the bound: treat the on-route
+		// baseline as zero so derouting reduces to the round-trip cost.
+		d.baseLo, d.baseHi = 0, 0
+	}
+	return d
+}
+
+func lookup(m map[roadnet.NodeID]float64, id roadnet.NodeID, def float64) float64 {
+	if v, ok := m[id]; ok {
+		return v
+	}
+	return def
+}
+
+// deroutingMapsApprox is the cheaper variant EcoCharge uses on cache
+// misses: one expansion per direction under the mid-traffic weights, with
+// interval bounds derived by scaling every distance by the most optimistic
+// and most pessimistic per-class multiplier ratios. This halves the
+// Dijkstra work against the exact four-expansion computation at the cost
+// of slightly wider (but still truth-covering, up to route divergence)
+// intervals.
+func (env *Env) deroutingMapsApprox(q Query, boundSec float64) DeroutingMaps {
+	lower, upper := env.Traffic.WeightFuncs(q.ETABase, q.Now)
+	mid := func(e roadnet.Edge) float64 { return (lower(e) + upper(e)) / 2 }
+
+	// Global scaling band across road classes: lo/mid and hi/mid ratios of
+	// a representative edge per class.
+	loRatio, hiRatio := 1.0, 1.0
+	for c := roadnet.RoadClass(0); c < 4; c++ {
+		e := roadnet.Edge{Length: 1000, Class: c}
+		m := mid(e)
+		if m <= 0 {
+			continue
+		}
+		if r := lower(e) / m; r < loRatio {
+			loRatio = r
+		}
+		if r := upper(e) / m; r > hiRatio {
+			hiRatio = r
+		}
+	}
+
+	fwd := env.Graph.DistancesWithin(q.AnchorNode, mid, boundSec)
+	ret := q.ReturnNode
+	if ret < 0 {
+		ret = q.AnchorNode
+	}
+	rev := env.Graph.DistancesTo(ret, mid, boundSec)
+
+	var d DeroutingMaps
+	d.fwdLo = scaleMap(fwd, loRatio)
+	d.fwdHi = scaleMap(fwd, hiRatio)
+	d.retLo = scaleMap(rev, loRatio)
+	d.retHi = scaleMap(rev, hiRatio)
+	base := lookup(fwd, ret, math.Inf(1))
+	if math.IsInf(base, 1) {
+		d.baseLo, d.baseHi = 0, 0
+	} else {
+		d.baseLo, d.baseHi = base*loRatio, base*hiRatio
+	}
+	return d
+}
+
+func scaleMap(m map[roadnet.NodeID]float64, s float64) map[roadnet.NodeID]float64 {
+	if s == 1 {
+		return m
+	}
+	out := make(map[roadnet.NodeID]float64, len(m))
+	for k, v := range m {
+		out[k] = v * s
+	}
+	return out
+}
+
+// Cost returns the derouting seconds interval for a charger at node n and
+// whether the charger is reachable within the expansions' bound. The
+// interval mixes bounds soundly: the optimistic derouting uses optimistic
+// legs against the pessimistic baseline, and vice versa.
+func (d DeroutingMaps) Cost(n roadnet.NodeID) (interval.I, bool) {
+	fLo, ok1 := d.fwdLo[n]
+	rLo, ok2 := d.retLo[n]
+	if !ok1 || !ok2 {
+		return interval.I{}, false
+	}
+	fHi := lookup(d.fwdHi, n, fLo)
+	rHi := lookup(d.retHi, n, rLo)
+	lo := fLo + rLo - d.baseHi
+	hi := fHi + rHi - d.baseLo
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return interval.I{Min: lo, Max: hi}, true
+}
+
+// TravelTo returns the forward travel-time interval in seconds from the
+// anchor to node n, used to derive the charger's ETA.
+func (d DeroutingMaps) TravelTo(n roadnet.NodeID) (interval.I, bool) {
+	lo, ok := d.fwdLo[n]
+	if !ok {
+		return interval.I{}, false
+	}
+	hi := lookup(d.fwdHi, n, lo)
+	if hi < lo {
+		hi = lo
+	}
+	return interval.I{Min: lo, Max: hi}, true
+}
+
+// etaAt converts a mid travel estimate into the charger's ETA.
+func etaAt(base time.Time, travel interval.I) time.Time {
+	return base.Add(time.Duration(travel.Mid() * float64(time.Second)))
+}

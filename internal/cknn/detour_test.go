@@ -1,0 +1,63 @@
+package cknn
+
+import (
+	"testing"
+	"time"
+
+	"ecocharge/internal/trajectory"
+)
+
+func TestPlanDetour(t *testing.T) {
+	env := testEnv(t)
+	trips, err := trajectory.Generate(env.Graph, trajectory.GenConfig{
+		N: 2, Seed: 23, MinTripKM: 6, MaxTripKM: 10, Start: queryTime, Window: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewEcoCharge(env, EcoChargeOptions{RadiusM: 10000})
+	for _, trip := range trips {
+		results := RunTrip(env, m, trip, TripOptions{K: 3, SegmentLenM: 3000, RadiusM: 10000})
+		seg := results[0].Segment
+		top, ok := results[0].Table.Top()
+		if !ok {
+			t.Fatal("empty table")
+		}
+		plan, err := PlanDetour(env, trip, seg, top)
+		if err != nil {
+			t.Fatalf("PlanDetour: %v", err)
+		}
+		if plan.Charger.ID != top.Charger.ID {
+			t.Error("plan charger mismatch")
+		}
+		// Route legs connect anchor → charger → destination.
+		if plan.ToCharger.Nodes[0] != seg.AnchorNode {
+			t.Error("detour does not start at the anchor")
+		}
+		if plan.ToCharger.Nodes[len(plan.ToCharger.Nodes)-1] != top.Charger.Node {
+			t.Error("detour does not reach the charger")
+		}
+		dest := trip.Path.Nodes[len(trip.Path.Nodes)-1]
+		if plan.FromCharger.Nodes[len(plan.FromCharger.Nodes)-1] != dest {
+			t.Error("continuation does not reach the destination")
+		}
+		// The extra-time interval is ordered and non-negative.
+		if plan.ExtraSecondsMin < 0 || plan.ExtraSecondsMax < plan.ExtraSecondsMin {
+			t.Errorf("extra time interval [%v, %v] invalid", plan.ExtraSecondsMin, plan.ExtraSecondsMax)
+		}
+		if plan.ArriveAt.Before(seg.ETA) {
+			t.Error("arrival before the segment ETA")
+		}
+	}
+}
+
+func TestPlanDetourErrors(t *testing.T) {
+	env := testEnv(t)
+	trips, _ := trajectory.Generate(env.Graph, trajectory.GenConfig{
+		N: 1, Seed: 3, MinTripKM: 4, MaxTripKM: 8, Start: queryTime, Window: time.Minute,
+	})
+	segs := trajectory.SegmentTrip(env.Graph, trips[0], 3000)
+	if _, err := PlanDetour(env, trips[0], segs[0], Entry{}); err == nil {
+		t.Fatal("nil charger accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package cknn
+
+import (
+	"math"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/interval"
+	"ecocharge/internal/roadnet"
+)
+
+// Engine evaluates Estimated Components and builds Offering Tables over an
+// environment. All ranking methods share it so their scores differ only by
+// candidate selection and caching policy, never by scoring rules.
+type Engine struct {
+	Env *Env
+}
+
+// evaluate computes the Entry of one charger for the query, using the
+// derouting maps for the D component. The boolean is false when the charger
+// is unreachable within the maps' bound.
+func (e *Engine) evaluate(c *charger.Charger, d DeroutingMaps, q Query) (Entry, bool) {
+	travel, ok := d.TravelTo(c.Node)
+	if !ok {
+		return Entry{}, false
+	}
+	derout, ok := d.Cost(c.Node)
+	if !ok {
+		return Entry{}, false
+	}
+	eta := etaAt(q.ETABase, travel)
+
+	// L (Alg. 1 lines 5–6): forecast production (solar + optional wind)
+	// capped by the charger's electrical rate, normalized by the
+	// environment's maximum level.
+	prod := e.Env.ProductionForecast(c, eta, q.Now)
+	l := capAbove(prod, c.Rate.KW()).Normalize(e.Env.MaxLKW)
+
+	// A (lines 7–8): availability from the busy timetable at the ETA.
+	a := e.Env.Avail.ForecastAvailability(c.ID, &c.Timetable, eta, q.Now)
+
+	// D (lines 9–10): normalized derouting cost.
+	dn := derout.Normalize(e.Env.MaxDeroutSec)
+
+	comp := Components{L: l, A: a, D: dn, ETA: eta, DeroutSecM: derout.Mid()}
+	return Entry{Charger: c, SC: comp.SC(q.Weights), Comp: comp}, true
+}
+
+// capAbove limits an interval from above by cap (production cannot charge
+// faster than the plug's rate).
+func capAbove(x interval.I, cap float64) interval.I {
+	if x.Min > cap {
+		x.Min = cap
+	}
+	if x.Max > cap {
+		x.Max = cap
+	}
+	return x
+}
+
+// rankPool runs the filtering and refinement phases over a candidate pool:
+// chargers are evaluated with interval pruning (a candidate whose cheap
+// optimistic bound cannot beat the current k-th pessimistic score skips the
+// expensive forecasts), then ranked per eq. 6.
+func (e *Engine) rankPool(cands []*charger.Charger, d DeroutingMaps, q Query) []Entry {
+	entries := make([]Entry, 0, len(cands))
+	// kthMin tracks the k-th best pessimistic SC seen so far; used for the
+	// filtering-phase prune.
+	kthMin := math.Inf(-1)
+	mins := newBottomK(q.K)
+	for _, c := range cands {
+		// Cheap optimistic bound before any forecasting: L and A cannot
+		// exceed 1; D cannot be better than its lower bound.
+		if dn, ok := d.Cost(c.Node); ok {
+			dNorm := dn.Normalize(e.Env.MaxDeroutSec)
+			upper := q.Weights.L + q.Weights.A + (1-dNorm.Min)*q.Weights.D
+			if upper < kthMin {
+				continue // pruned: cannot enter the top-k
+			}
+		}
+		entry, ok := e.evaluate(c, d, q)
+		if !ok {
+			continue
+		}
+		entries = append(entries, entry)
+		if mins.push(entry.SC.Min) {
+			kthMin = mins.kth()
+		}
+	}
+	return Rank(entries, q.K)
+}
+
+// bottomK maintains the k largest values seen, exposing the smallest of
+// them (the k-th best), with a simple insertion structure adequate for the
+// small k of Offering Tables.
+type bottomK struct {
+	k    int
+	vals []float64 // ascending, at most k entries, holding the k largest
+}
+
+func newBottomK(k int) *bottomK { return &bottomK{k: k} }
+
+// push inserts v and reports whether the set already holds k values (i.e.
+// kth() is meaningful).
+func (b *bottomK) push(v float64) bool {
+	if b.k <= 0 {
+		return false
+	}
+	if len(b.vals) < b.k {
+		b.vals = append(b.vals, v)
+		sortInsert(b.vals)
+		return len(b.vals) == b.k
+	}
+	if v > b.vals[0] {
+		b.vals[0] = v
+		sortInsert(b.vals)
+	}
+	return true
+}
+
+func (b *bottomK) kth() float64 {
+	if len(b.vals) < b.k {
+		return math.Inf(-1)
+	}
+	return b.vals[0]
+}
+
+// sortInsert restores ascending order after modifying the first element or
+// appending; the slice is nearly sorted so one pass suffices.
+func sortInsert(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// TruthMaps price chargers under the actual (zero-uncertainty) traffic at
+// query time. Experiments use them to score any method's picks against
+// ground truth, which is how the SC% metric of the evaluation is defined.
+type TruthMaps struct {
+	fwd, ret map[roadnet.NodeID]float64
+	base     float64
+}
+
+// TruthMaps computes the exhaustive truth expansions for the query.
+func (e *Engine) TruthMaps(q Query) TruthMaps {
+	q = q.normalized()
+	w := e.Env.Traffic.TruthWeightFunc(q.ETABase)
+	fwd := e.Env.Graph.DistancesWithin(q.AnchorNode, w, math.Inf(1))
+	ret := q.ReturnNode
+	if ret < 0 {
+		ret = q.AnchorNode
+	}
+	rev := e.Env.Graph.DistancesTo(ret, w, math.Inf(1))
+	base := lookup(fwd, ret, 0)
+	return TruthMaps{fwd: fwd, ret: rev, base: base}
+}
+
+// TruthComponents returns the ground-truth normalized objectives of
+// charging at c for the query: the charging level l, the availability a,
+// and the derouting complement 1−d, all in [0,1]. The boolean is false when
+// the charger is unreachable.
+func (e *Engine) TruthComponents(q Query, tm TruthMaps, c *charger.Charger) (l, a, dComp float64, ok bool) {
+	q = q.normalized()
+	f, okF := tm.fwd[c.Node]
+	r, okR := tm.ret[c.Node]
+	if !okF || !okR {
+		return 0, 0, 0, false
+	}
+	derout := f + r - tm.base
+	if derout < 0 {
+		derout = 0
+	}
+	eta := q.ETABase.Add(secondsDur(f))
+	prodKW := e.Env.ProductionTruth(c, eta)
+	if rate := c.Rate.KW(); prodKW > rate {
+		prodKW = rate
+	}
+	if e.Env.MaxLKW > 0 {
+		l = clamp01(prodKW / e.Env.MaxLKW)
+	}
+	a = 1 - e.Env.Avail.TruthBusy(c.ID, &c.Timetable, eta)
+	dComp = 1 - clamp01(derout/e.Env.MaxDeroutSec)
+	return l, a, dComp, true
+}
+
+// TruthSC returns the ground-truth Sustainability Score of charging at c
+// for the query, under the query's weights. The boolean is false when the
+// charger is unreachable.
+func (e *Engine) TruthSC(q Query, tm TruthMaps, c *charger.Charger) (float64, bool) {
+	q = q.normalized()
+	l, a, dComp, ok := e.TruthComponents(q, tm, c)
+	if !ok {
+		return 0, false
+	}
+	return l*q.Weights.L + a*q.Weights.A + dComp*q.Weights.D, true
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

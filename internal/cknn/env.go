@@ -1,0 +1,160 @@
+package cknn
+
+import (
+	"fmt"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/ec"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/interval"
+	"ecocharge/internal/roadnet"
+)
+
+// Env bundles the world every ranking method queries: the road network,
+// the charger inventory, and the three Estimated Component models. Build it
+// once per scenario with NewEnv; it is immutable and safe for concurrent
+// readers.
+type Env struct {
+	Graph    *roadnet.Graph
+	Chargers *charger.Set
+	Solar    *ec.SolarModel
+	Avail    *ec.AvailabilityModel
+	Traffic  *ec.TrafficModel
+	// Wind optionally adds wind-turbine production to sites with WindKW
+	// capacity (the paper's RES integration names both panels and
+	// turbines). Nil disables wind.
+	Wind *ec.WindModel
+
+	// MaxLKW normalizes the L component: the environment's maximum
+	// effective charging level max_b min(rate_b, panel_b).
+	MaxLKW float64
+	// MaxDeroutSec normalizes the D component: the derouting budget in
+	// seconds. Chargers costing more than this to visit are treated as
+	// maximally expensive (D = 1).
+	MaxDeroutSec float64
+}
+
+// EnvConfig carries the optional knobs of NewEnv.
+type EnvConfig struct {
+	// MaxDeroutSec overrides the derouting normalizer; 0 derives it from
+	// RadiusM (a round trip at urban average speed).
+	MaxDeroutSec float64
+	// RadiusM is the default search radius used to derive MaxDeroutSec.
+	// 0 selects 50 km, the paper's default R.
+	RadiusM float64
+	// Wind enables wind production for chargers with WindKW capacity.
+	Wind *ec.WindModel
+}
+
+// avgUrbanSpeed is the mixed urban/arterial speed used to convert the
+// radius into a derouting time budget.
+const avgUrbanSpeed = 50.0 / 3.6 // m/s
+
+// NewEnv validates and assembles an environment.
+func NewEnv(g *roadnet.Graph, set *charger.Set, solar *ec.SolarModel, avail *ec.AvailabilityModel, traffic *ec.TrafficModel, cfg EnvConfig) (*Env, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("cknn: environment needs a non-empty road network")
+	}
+	if set == nil {
+		return nil, fmt.Errorf("cknn: environment needs a charger set")
+	}
+	if solar == nil || avail == nil || traffic == nil {
+		return nil, fmt.Errorf("cknn: environment needs all three EC models")
+	}
+	env := &Env{Graph: g, Chargers: set, Solar: solar, Avail: avail, Traffic: traffic, Wind: cfg.Wind}
+	for _, c := range set.All() {
+		if l := effectiveKW(&c); l > env.MaxLKW {
+			env.MaxLKW = l
+		}
+	}
+	radius := cfg.RadiusM
+	if radius <= 0 {
+		radius = 50000
+	}
+	env.MaxDeroutSec = cfg.MaxDeroutSec
+	if env.MaxDeroutSec <= 0 {
+		// One-way radius crossing at mixed urban speed: a charger whose
+		// visit costs more than driving R is maximally penalized (D = 1).
+		env.MaxDeroutSec = radius / avgUrbanSpeed
+	}
+	return env, nil
+}
+
+// effectiveKW is the charging level a site can sustain from renewables
+// alone: production is capped by both the installed RES capacity and the
+// charger rate.
+func effectiveKW(c *charger.Charger) float64 {
+	if res := c.RESKW(); res < c.Rate.KW() {
+		return res
+	}
+	return c.Rate.KW()
+}
+
+// ProductionForecast is the total renewable production interval at the
+// charger at time at, for an estimate issued at issued: solar plus wind
+// when the environment has a wind model and the site has turbines.
+func (env *Env) ProductionForecast(c *charger.Charger, at, issued time.Time) interval.I {
+	prod := env.Solar.Forecast(c.Site(), at, issued)
+	if env.Wind != nil && c.WindKW > 0 {
+		prod = prod.Add(env.Wind.Forecast(c.WindSite(), at, issued))
+	}
+	return prod
+}
+
+// ProductionTruth is the actual total renewable production in kW.
+func (env *Env) ProductionTruth(c *charger.Charger, at time.Time) float64 {
+	p := env.Solar.Truth(c.Site(), at)
+	if env.Wind != nil && c.WindKW > 0 {
+		p += env.Wind.Truth(c.WindSite(), at)
+	}
+	return p
+}
+
+// Query is one CkNN-EC evaluation point: the vehicle's anchor position on
+// its trip, the time the estimate is issued, and the search parameters.
+type Query struct {
+	// Anchor is the query position (a segment anchor of the trip).
+	Anchor geo.Point
+	// AnchorNode is the road-network node of the anchor.
+	AnchorNode roadnet.NodeID
+	// ReturnNode is where the vehicle rejoins its route after charging
+	// (the end of the current segment or the next segment's anchor,
+	// whichever the caller selects). Invalid means "return to the anchor".
+	ReturnNode roadnet.NodeID
+	// Now is when the estimate is issued (forecast horizons are measured
+	// from it).
+	Now time.Time
+	// ETABase is the arrival time at the anchor; charger ETAs add the
+	// derouting travel time to it.
+	ETABase time.Time
+	// K is the number of chargers requested in the Offering Table.
+	K int
+	// RadiusM is the user-configured search radius R.
+	RadiusM float64
+	// Weights are the SC objective weights; zero value selects equal
+	// weights.
+	Weights Weights
+}
+
+// normalized fills defaults and returns the query ready for evaluation.
+func (q Query) normalized() Query {
+	if q.K <= 0 {
+		q.K = 3
+	}
+	if q.RadiusM <= 0 {
+		q.RadiusM = 50000
+	}
+	if q.Weights == (Weights{}) {
+		q.Weights = EqualWeights()
+	} else {
+		q.Weights = q.Weights.Normalized()
+	}
+	if q.ETABase.IsZero() {
+		q.ETABase = q.Now
+	}
+	if q.ReturnNode < 0 {
+		q.ReturnNode = q.AnchorNode
+	}
+	return q
+}

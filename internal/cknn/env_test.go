@@ -1,0 +1,77 @@
+package cknn
+
+import (
+	"testing"
+	"time"
+
+	"ecocharge/internal/ec"
+)
+
+// The environment's production helpers must compose solar and wind.
+func TestProductionForecastCombinesRES(t *testing.T) {
+	env := testEnv(t)
+	// Attach a wind model; pick a charger and force wind capacity onto a
+	// copy through a fresh environment.
+	chargers := env.Chargers.All()
+	var windy, solarOnly int
+	for i := range chargers {
+		if chargers[i].WindKW > 0 {
+			windy = i
+		} else if chargers[i].PanelKW > 0 {
+			solarOnly = i
+		}
+	}
+	withWind, err := NewEnv(env.Graph, env.Chargers, env.Solar, env.Avail, env.Traffic,
+		EnvConfig{RadiusM: 10000, Wind: ec.NewWindModel(77)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	night := time.Date(2024, 6, 18, 22, 0, 0, 0, time.UTC) // no sun at lon 8
+
+	// Wind-equipped charger: production at night can be nonzero; solar-only
+	// charger: always zero at night.
+	so := &withWind.Chargers.All()[solarOnly]
+	if p := withWind.ProductionTruth(so, night); p != 0 {
+		t.Errorf("solar-only charger produced %v at night", p)
+	}
+	wc := &withWind.Chargers.All()[windy]
+	if wc.WindKW == 0 {
+		t.Skip("generated set has no wind charger")
+	}
+	// Over two weeks of nights the wind charger produces something.
+	var total float64
+	for d := 0; d < 14; d++ {
+		total += withWind.ProductionTruth(wc, night.AddDate(0, 0, d))
+	}
+	if total == 0 {
+		t.Error("wind charger never produced at night across two weeks")
+	}
+	// The forecast contains the truth.
+	iv := withWind.ProductionForecast(wc, night, night.Add(-2*time.Hour))
+	if !iv.Contains(withWind.ProductionTruth(wc, night)) {
+		t.Errorf("combined forecast %v missing truth %v", iv, withWind.ProductionTruth(wc, night))
+	}
+	// Without a wind model the same charger forecasts solar only (zero at
+	// night).
+	if iv := env.ProductionForecast(wc, night, night); iv.Max != 0 {
+		t.Errorf("wind-less env forecast at night = %v, want 0", iv)
+	}
+}
+
+// MaxLKW reflects the combined RES capacity cap.
+func TestMaxLKWUsesCombinedCapacity(t *testing.T) {
+	env := testEnv(t)
+	max := 0.0
+	for _, c := range env.Chargers.All() {
+		eff := c.RESKW()
+		if r := c.Rate.KW(); eff > r {
+			eff = r
+		}
+		if eff > max {
+			max = eff
+		}
+	}
+	if env.MaxLKW != max {
+		t.Fatalf("MaxLKW = %v, want %v", env.MaxLKW, max)
+	}
+}

@@ -1,0 +1,63 @@
+package cknn
+
+import (
+	"testing"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/ec"
+	"ecocharge/internal/roadnet"
+)
+
+// All three index-backed baselines must produce identical tables: the
+// candidate set is "the factor·k nearest chargers" regardless of which
+// structure retrieves them.
+func TestIndexMethodsAgree(t *testing.T) {
+	env := testEnv(t)
+	qt := NewIndexQuadtree(env)
+	grid := NewIndexGrid(env, 1000)
+	rtree := NewIndexRTree(env)
+
+	for trial := 0; trial < 15; trial++ {
+		node := (trial * 211) % env.Graph.NumNodes()
+		q := testQuery(env)
+		nid := roadnet.NodeID(node)
+		q.Anchor = env.Graph.Node(nid).P
+		q.AnchorNode = nid
+		q.ReturnNode = nid
+
+		want := qt.Rank(q).IDs()
+		if got := grid.Rank(q).IDs(); !sameIDs(got, want) {
+			t.Fatalf("trial %d: grid %v vs quadtree %v", trial, got, want)
+		}
+		if got := rtree.Rank(q).IDs(); !sameIDs(got, want) {
+			t.Fatalf("trial %d: rtree %v vs quadtree %v", trial, got, want)
+		}
+	}
+}
+
+func TestIndexMethodNames(t *testing.T) {
+	env := testEnv(t)
+	if NewIndexGrid(env, 0).Name() != "Index-Grid" {
+		t.Error("grid name wrong")
+	}
+	if NewIndexRTree(env).Name() != "Index-RTree" {
+		t.Error("rtree name wrong")
+	}
+}
+
+func TestIndexMethodEmptySet(t *testing.T) {
+	set, err := charger.NewSet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testEnv(t)
+	env, err := NewEnv(base.Graph, set, ec.NewSolarModel(1), ec.NewAvailabilityModel(2), ec.NewTrafficModel(3), EnvConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{NewIndexGrid(env, 0), NewIndexRTree(env)} {
+		if table := m.Rank(testQuery(env)); len(table.Entries) != 0 {
+			t.Errorf("%s: entries on empty set", m.Name())
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package cknn
+
+import (
+	"sync"
+	"time"
+
+	"ecocharge/internal/charger"
+)
+
+// LoadTracker implements the paper's future-work extension (§VII):
+// "investigate the balance of the produced traffic to chargers by the
+// suggested Offering Tables, and monitor the congestion to redirect
+// drivers to alternative EV charging stations."
+//
+// Every recommendation a driver commits to registers an expected arrival;
+// the tracker then reports the demand EcoCharge itself has induced at each
+// charger, and the Balanced method folds that into the availability
+// component so later drivers are redirected before a queue forms.
+//
+// LoadTracker is safe for concurrent use: one tracker is shared by all
+// vehicles of a fleet.
+type LoadTracker struct {
+	// Window is how long an expected arrival occupies a plug for demand
+	// accounting (approximate charging session length). 0 selects 45 min.
+	Window time.Duration
+
+	mu          sync.Mutex
+	plugs       map[int64]int
+	commitments map[int64][]time.Time // charger -> expected arrivals
+}
+
+// NewLoadTracker returns a tracker over the inventory's plug counts.
+func NewLoadTracker(set *charger.Set) *LoadTracker {
+	lt := &LoadTracker{
+		Window:      45 * time.Minute,
+		plugs:       make(map[int64]int, set.Len()),
+		commitments: make(map[int64][]time.Time),
+	}
+	for _, c := range set.All() {
+		plugs := c.Plugs
+		if plugs < 1 {
+			plugs = 1
+		}
+		lt.plugs[c.ID] = plugs
+	}
+	return lt
+}
+
+func (lt *LoadTracker) window() time.Duration {
+	if lt.Window <= 0 {
+		return 45 * time.Minute
+	}
+	return lt.Window
+}
+
+// Commit registers a driver heading to the charger with the given ETA.
+func (lt *LoadTracker) Commit(chargerID int64, eta time.Time) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.commitments[chargerID] = append(lt.commitments[chargerID], eta)
+}
+
+// Cancel removes one commitment with the given ETA (driver changed plans).
+// Unknown commitments are ignored.
+func (lt *LoadTracker) Cancel(chargerID int64, eta time.Time) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	cs := lt.commitments[chargerID]
+	for i, t := range cs {
+		if t.Equal(eta) {
+			lt.commitments[chargerID] = append(cs[:i], cs[i+1:]...)
+			return
+		}
+	}
+}
+
+// expire drops commitments whose occupancy window has passed. Callers hold
+// the lock.
+func (lt *LoadTracker) expire(now time.Time) {
+	w := lt.window()
+	for id, cs := range lt.commitments {
+		kept := cs[:0]
+		for _, t := range cs {
+			if t.Add(w).After(now) {
+				kept = append(kept, t)
+			}
+		}
+		if len(kept) == 0 {
+			delete(lt.commitments, id)
+		} else {
+			lt.commitments[id] = kept
+		}
+	}
+}
+
+// InducedBusy reports the fraction of the charger's plugs already claimed
+// by commitments whose occupancy overlaps time at, clamped to [0, 1].
+func (lt *LoadTracker) InducedBusy(chargerID int64, at time.Time) float64 {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.expire(at)
+	cs := lt.commitments[chargerID]
+	if len(cs) == 0 {
+		return 0
+	}
+	w := lt.window()
+	overlapping := 0
+	for _, t := range cs {
+		if !t.After(at.Add(w)) && t.Add(w).After(at) {
+			overlapping++
+		}
+	}
+	plugs := lt.plugs[chargerID]
+	if plugs < 1 {
+		plugs = 1
+	}
+	v := float64(overlapping) / float64(plugs)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// Commitments reports the live commitment count per charger (diagnostics).
+func (lt *LoadTracker) Commitments(now time.Time) map[int64]int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.expire(now)
+	out := make(map[int64]int, len(lt.commitments))
+	for id, cs := range lt.commitments {
+		out[id] = len(cs)
+	}
+	return out
+}
+
+// Balanced wraps any ranking method with induced-demand redirection: after
+// the inner method produces its table, every entry's availability is
+// reduced by the demand already committed at its charger, scores are
+// recomputed, and the table is re-ranked. AutoCommit optionally registers
+// the top recommendation so subsequent drivers see it.
+type Balanced struct {
+	inner      Method
+	tracker    *LoadTracker
+	AutoCommit bool
+}
+
+// NewBalanced wraps inner with the tracker's redirection.
+func NewBalanced(inner Method, tracker *LoadTracker) *Balanced {
+	return &Balanced{inner: inner, tracker: tracker, AutoCommit: true}
+}
+
+// Name implements Method.
+func (m *Balanced) Name() string { return m.inner.Name() + "+Balanced" }
+
+// Reset implements Method; the tracker intentionally survives (demand is
+// fleet-wide, not per-trip).
+func (m *Balanced) Reset() { m.inner.Reset() }
+
+// Rank implements Method.
+func (m *Balanced) Rank(q Query) OfferingTable {
+	q = q.normalized()
+	table := m.inner.Rank(q)
+	if len(table.Entries) == 0 {
+		return table
+	}
+	adjusted := make([]Entry, 0, len(table.Entries))
+	for _, e := range table.Entries {
+		induced := m.tracker.InducedBusy(e.Charger.ID, e.Comp.ETA)
+		if induced > 0 {
+			comp := e.Comp
+			comp.A = comp.A.Scale(1 - induced)
+			e.Comp = comp
+			e.SC = comp.SC(q.Weights)
+		}
+		adjusted = append(adjusted, e)
+	}
+	table.Entries = Rank(adjusted, q.K)
+	if m.AutoCommit {
+		if top, ok := table.Top(); ok {
+			m.tracker.Commit(top.Charger.ID, top.Comp.ETA)
+		}
+	}
+	return table
+}

@@ -1,0 +1,175 @@
+package cknn
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoadTrackerInducedBusy(t *testing.T) {
+	env := testEnv(t)
+	lt := NewLoadTracker(env.Chargers)
+	c := env.Chargers.All()[0]
+	at := queryTime
+
+	if got := lt.InducedBusy(c.ID, at); got != 0 {
+		t.Fatalf("fresh tracker induced busy = %v", got)
+	}
+	// One commitment on a p-plug charger contributes 1/p.
+	lt.Commit(c.ID, at)
+	want := 1.0 / float64(c.Plugs)
+	if got := lt.InducedBusy(c.ID, at); got != want {
+		t.Fatalf("induced busy = %v, want %v", got, want)
+	}
+	// Saturates at 1 no matter how many commitments.
+	for i := 0; i < 10; i++ {
+		lt.Commit(c.ID, at)
+	}
+	if got := lt.InducedBusy(c.ID, at); got != 1 {
+		t.Fatalf("saturated induced busy = %v", got)
+	}
+}
+
+func TestLoadTrackerExpiry(t *testing.T) {
+	env := testEnv(t)
+	lt := NewLoadTracker(env.Chargers)
+	lt.Window = 30 * time.Minute
+	c := env.Chargers.All()[1]
+	lt.Commit(c.ID, queryTime)
+	if got := lt.InducedBusy(c.ID, queryTime.Add(10*time.Minute)); got == 0 {
+		t.Fatal("commitment expired too early")
+	}
+	if got := lt.InducedBusy(c.ID, queryTime.Add(2*time.Hour)); got != 0 {
+		t.Fatalf("commitment survived past window: %v", got)
+	}
+	// Expired commitments are dropped from the diagnostics too.
+	if m := lt.Commitments(queryTime.Add(2 * time.Hour)); len(m) != 0 {
+		t.Fatalf("Commitments after expiry = %v", m)
+	}
+}
+
+func TestLoadTrackerCancel(t *testing.T) {
+	env := testEnv(t)
+	lt := NewLoadTracker(env.Chargers)
+	c := env.Chargers.All()[2]
+	lt.Commit(c.ID, queryTime)
+	lt.Cancel(c.ID, queryTime)
+	if got := lt.InducedBusy(c.ID, queryTime); got != 0 {
+		t.Fatalf("cancelled commitment still counted: %v", got)
+	}
+	// Cancelling something never committed is a no-op.
+	lt.Cancel(c.ID, queryTime.Add(time.Hour))
+	lt.Cancel(99999, queryTime)
+}
+
+func TestLoadTrackerOverlapWindow(t *testing.T) {
+	env := testEnv(t)
+	lt := NewLoadTracker(env.Chargers)
+	lt.Window = 45 * time.Minute
+	c := env.Chargers.All()[3]
+	lt.Commit(c.ID, queryTime)
+	// An arrival 30 minutes later overlaps the 45-minute session.
+	if got := lt.InducedBusy(c.ID, queryTime.Add(30*time.Minute)); got == 0 {
+		t.Error("overlapping session not counted")
+	}
+	// An arrival 2 hours later does not (and the commitment has expired).
+	if got := lt.InducedBusy(c.ID, queryTime.Add(2*time.Hour)); got != 0 {
+		t.Errorf("non-overlapping session counted: %v", got)
+	}
+}
+
+func TestBalancedRedirectsFleet(t *testing.T) {
+	env := testEnv(t)
+	lt := NewLoadTracker(env.Chargers)
+	q := testQuery(env)
+	q.K = 3
+
+	// Without balancing every driver gets the same top charger.
+	plain := NewBruteForce(env)
+	first := plain.Rank(q)
+	top, ok := first.Top()
+	if !ok {
+		t.Fatal("empty table")
+	}
+
+	balanced := NewBalanced(NewBruteForce(env), lt)
+	picks := map[int64]int{}
+	for driver := 0; driver < 8; driver++ {
+		table := balanced.Rank(q)
+		p, ok := table.Top()
+		if !ok {
+			t.Fatal("empty balanced table")
+		}
+		picks[p.Charger.ID]++
+	}
+	if len(picks) < 2 {
+		t.Fatalf("balancing never redirected: all 8 drivers sent to %v", picks)
+	}
+	// The original top charger must not receive all drivers.
+	if picks[top.Charger.ID] == 8 {
+		t.Fatal("original top charger got the entire fleet")
+	}
+}
+
+func TestBalancedNameAndReset(t *testing.T) {
+	env := testEnv(t)
+	lt := NewLoadTracker(env.Chargers)
+	m := NewBalanced(NewEcoCharge(env, EcoChargeOptions{}), lt)
+	if m.Name() != "EcoCharge+Balanced" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	q := testQuery(env)
+	m.Rank(q)
+	m.Reset() // must not clear the tracker
+	if n := len(lt.Commitments(q.Now)); n == 0 {
+		t.Error("Reset cleared fleet-wide commitments")
+	}
+}
+
+func TestBalancedWithoutAutoCommit(t *testing.T) {
+	env := testEnv(t)
+	lt := NewLoadTracker(env.Chargers)
+	m := NewBalanced(NewBruteForce(env), lt)
+	m.AutoCommit = false
+	q := testQuery(env)
+	a := m.Rank(q).IDs()
+	b := m.Rank(q).IDs()
+	if !sameIDs(a, b) {
+		t.Fatal("without commitments repeated queries must agree")
+	}
+	if n := len(lt.Commitments(q.Now)); n != 0 {
+		t.Fatalf("AutoCommit=false still committed: %v", n)
+	}
+}
+
+func TestLoadTrackerConcurrent(t *testing.T) {
+	env := testEnv(t)
+	lt := NewLoadTracker(env.Chargers)
+	ids := make([]int64, 0, 10)
+	for i := 0; i < 10; i++ {
+		ids = append(ids, env.Chargers.All()[i].ID)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[(w+i)%len(ids)]
+				lt.Commit(id, queryTime.Add(time.Duration(i)*time.Second))
+				lt.InducedBusy(id, queryTime)
+				if i%3 == 0 {
+					lt.Cancel(id, queryTime.Add(time.Duration(i)*time.Second))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// No assertion beyond absence of races (run with -race) and sane state.
+	m := lt.Commitments(queryTime)
+	for id, n := range m {
+		if n < 0 {
+			t.Fatalf("negative commitments for %d", id)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package cknn
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/interval"
+)
+
+func secondsDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Method is a ranking strategy producing Offering Tables for query points.
+// Implementations correspond one-to-one to the evaluation's compared
+// approaches. Methods may keep per-trip state (the EcoCharge cache); call
+// Reset between trips. Methods are not safe for concurrent use; create one
+// per goroutine.
+type Method interface {
+	// Name is the label used in the figures.
+	Name() string
+	// Rank computes the Offering Table for the query.
+	Rank(q Query) OfferingTable
+	// Reset clears per-trip state.
+	Reset()
+}
+
+// BruteForce exhaustively evaluates the entire charger pool with unbounded
+// network expansions: the optimal-but-slowest baseline (SC = 100% by
+// definition of the evaluation metric).
+type BruteForce struct {
+	engine Engine
+}
+
+// NewBruteForce returns the exhaustive baseline method.
+func NewBruteForce(env *Env) *BruteForce { return &BruteForce{engine: Engine{Env: env}} }
+
+// Name implements Method.
+func (m *BruteForce) Name() string { return "BruteForce" }
+
+// Reset implements Method; BruteForce is stateless.
+func (m *BruteForce) Reset() {}
+
+// Rank implements Method.
+func (m *BruteForce) Rank(q Query) OfferingTable {
+	q = q.normalized()
+	d := m.engine.Env.deroutingMaps(q, math.Inf(1))
+	all := m.engine.Env.Chargers.All()
+	cands := make([]*charger.Charger, len(all))
+	for i := range all {
+		cands[i] = &all[i]
+	}
+	return OfferingTable{
+		Anchor:      q.Anchor,
+		GeneratedAt: q.Now,
+		ETABase:     q.ETABase,
+		Entries:     m.engine.rankPool(cands, d, q),
+	}
+}
+
+// IndexQuadtree retrieves candidates through the spatial index — the
+// CandidateFactor·k chargers geometrically nearest the anchor — and ranks
+// only those. Retrieval drops from O(n) to O(log n), trading SC: the best
+// sustainability score is not always among the nearest chargers.
+type IndexQuadtree struct {
+	engine Engine
+	// CandidateFactor scales the candidate set (factor·k nearest); values
+	// below 1 are treated as the default 2.
+	CandidateFactor int
+}
+
+// NewIndexQuadtree returns the index-based baseline method.
+func NewIndexQuadtree(env *Env) *IndexQuadtree {
+	return &IndexQuadtree{engine: Engine{Env: env}, CandidateFactor: 2}
+}
+
+// Name implements Method.
+func (m *IndexQuadtree) Name() string { return "Index-Quadtree" }
+
+// Reset implements Method; the method is stateless.
+func (m *IndexQuadtree) Reset() {}
+
+// Rank implements Method.
+func (m *IndexQuadtree) Rank(q Query) OfferingTable {
+	q = q.normalized()
+	factor := m.CandidateFactor
+	if factor < 1 {
+		factor = 2
+	}
+	cands := m.engine.Env.Chargers.KNearest(q.Anchor, factor*q.K)
+	// The expansion only needs to price the retrieved candidates: bound it
+	// by a generous detour budget to the farthest one (4× the geodesic
+	// distance at half urban speed covers grid detours and congestion).
+	bound := m.engine.Env.MaxDeroutSec
+	if len(cands) > 0 {
+		far := geo.Distance(q.Anchor, cands[len(cands)-1].P)
+		if b := 4 * far / (avgUrbanSpeed / 2); b < bound {
+			bound = b
+		}
+	}
+	d := m.engine.Env.deroutingMaps(q, bound)
+	return OfferingTable{
+		Anchor:      q.Anchor,
+		GeneratedAt: q.Now,
+		ETABase:     q.ETABase,
+		Entries:     m.engine.rankPool(cands, d, q),
+	}
+}
+
+// Random fills the Offering Table with k random chargers inside the radius,
+// ignoring every objective — the paper's lower-bound baseline. It performs
+// no network expansion and no forecasting, so it is the fastest method; its
+// entries carry zero scores because it never computes any.
+type Random struct {
+	env *Env
+	rng *rand.Rand
+}
+
+// NewRandom returns the random baseline with a deterministic stream.
+func NewRandom(env *Env, seed int64) *Random {
+	return &Random{env: env, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Method.
+func (m *Random) Name() string { return "Random" }
+
+// Reset implements Method; the random stream continues across trips by
+// design (resetting it would correlate trips).
+func (m *Random) Reset() {}
+
+// Rank implements Method.
+func (m *Random) Rank(q Query) OfferingTable {
+	q = q.normalized()
+	pool := m.env.Chargers.Within(q.Anchor, q.RadiusM)
+	t := OfferingTable{Anchor: q.Anchor, GeneratedAt: q.Now, ETABase: q.ETABase}
+	if len(pool) == 0 {
+		return t
+	}
+	n := q.K
+	if n > len(pool) {
+		n = len(pool)
+	}
+	perm := m.rng.Perm(len(pool))
+	for _, idx := range perm[:n] {
+		t.Entries = append(t.Entries, Entry{Charger: pool[idx]})
+	}
+	return t
+}
+
+// EcoChargeOptions configure the paper's method: the search radius R, the
+// re-generation distance Q, and the cache validity horizon.
+type EcoChargeOptions struct {
+	// RadiusM is R: chargers farther than this from the anchor are not
+	// considered. 0 selects 50 km (the paper's chosen configuration).
+	RadiusM float64
+	// ReuseDistM is Q: a previously generated Offering Table is adapted
+	// instead of recomputed while the vehicle stays within this distance
+	// of the table's anchor. 0 selects 5 km.
+	ReuseDistM float64
+	// TTL bounds how long a cached table stays adaptable regardless of
+	// distance (the ECs decay with time). 0 selects 15 minutes.
+	TTL time.Duration
+	// ExactDerouting selects the exact four-expansion derouting interval
+	// computation on cache misses instead of the default single-expansion
+	// mid-traffic approximation (see Env.deroutingMapsApprox).
+	ExactDerouting bool
+}
+
+func (o EcoChargeOptions) withDefaults() EcoChargeOptions {
+	if o.RadiusM <= 0 {
+		o.RadiusM = 50000
+	}
+	if o.ReuseDistM <= 0 {
+		o.ReuseDistM = 5000
+	}
+	if o.TTL <= 0 {
+		o.TTL = 15 * time.Minute
+	}
+	return o
+}
+
+// EcoCharge is the paper's method: radius-bounded CkNN-EC evaluation with
+// the dynamic bottom-up cache of §IV.C. On a cache hit (vehicle moved less
+// than Q from the cached table's anchor and the table is fresh) the cached
+// table is adapted — only the derouting component is re-derived from the
+// new position, cheaply and approximately — instead of recomputed.
+type EcoCharge struct {
+	engine Engine
+	opts   EcoChargeOptions
+	cache  tableCache
+}
+
+// NewEcoCharge returns the EcoCharge method with the given options.
+func NewEcoCharge(env *Env, opts EcoChargeOptions) *EcoCharge {
+	return &EcoCharge{engine: Engine{Env: env}, opts: opts.withDefaults()}
+}
+
+// Name implements Method.
+func (m *EcoCharge) Name() string { return "EcoCharge" }
+
+// Reset implements Method: it drops the cached table (new trip, new cache).
+func (m *EcoCharge) Reset() { m.cache.invalidate() }
+
+// Stats reports cache hits and misses since construction, used by the
+// experiments to explain the Q tradeoff.
+func (m *EcoCharge) Stats() (hits, misses int) { return m.cache.hits, m.cache.misses }
+
+// Rank implements Method.
+func (m *EcoCharge) Rank(q Query) OfferingTable {
+	q = q.normalized()
+	q.RadiusM = m.opts.RadiusM
+	if cached, ok := m.cache.lookup(q, m.opts); ok {
+		return m.adapt(cached, q)
+	}
+	table := m.compute(q)
+	m.cache.store(table)
+	return table
+}
+
+// compute is the cache-miss path: full CkNN-EC over the chargers within R.
+// Network expansions are bounded by the derouting budget MaxDeroutSec;
+// chargers inside R whose visit would exceed the budget are not offered
+// (brute force instead keeps them with D clamped to 1), which is part of
+// the R-opt accuracy/cost tradeoff of Fig. 7.
+func (m *EcoCharge) compute(q Query) OfferingTable {
+	cands := m.engine.Env.Chargers.Within(q.Anchor, q.RadiusM)
+	// The user-configured radius sets the derouting budget: with R = 25 km
+	// the driver accepts at most a ~30-minute detour, with R = 75 km three
+	// times that. Larger R therefore expands farther (slower) and keeps
+	// more chargers offerable (more accurate) — the Fig. 7 tradeoff.
+	budget := q.RadiusM / avgUrbanSpeed
+	var d DeroutingMaps
+	if m.opts.ExactDerouting {
+		d = m.engine.Env.deroutingMaps(q, budget)
+	} else {
+		d = m.engine.Env.deroutingMapsApprox(q, budget)
+	}
+	return OfferingTable{
+		Anchor:      q.Anchor,
+		GeneratedAt: q.Now,
+		ETABase:     q.ETABase,
+		Entries:     m.engine.rankPool(cands, d, q),
+	}
+}
+
+// adapt is the cache-hit path (§IV.C bottom-up reuse): L and A estimates of
+// the cached entries are kept, only D is re-derived from the new anchor
+// using the geodesic round-trip approximation — no network expansion, no
+// forecasting. The approximation is what trades accuracy for speed as Q
+// grows (Fig. 8).
+func (m *EcoCharge) adapt(cached OfferingTable, q Query) OfferingTable {
+	out := OfferingTable{
+		Anchor:      q.Anchor,
+		GeneratedAt: q.Now,
+		ETABase:     q.ETABase,
+		Adapted:     true,
+	}
+	out.Entries = make([]Entry, 0, len(cached.Entries))
+	for _, e := range cached.Entries {
+		straight := geo.Distance(q.Anchor, e.Charger.P)
+		if straight > q.RadiusM {
+			continue // drifted out of the search radius
+		}
+		// Shift the cached network derouting by the geodesic movement
+		// delta (round trip at urban speed): small moves perturb the
+		// exact value instead of replacing it. The spread keeps the old
+		// relative uncertainty.
+		oldStraight := geo.Distance(cached.Anchor, e.Charger.P)
+		approxSec := e.Comp.DeroutSecM + 2*(straight-oldStraight)/avgUrbanSpeed
+		if approxSec < 0 {
+			approxSec = 0
+		}
+		spread := e.Comp.D.Width() / 2
+		dMid := approxSec / m.engine.Env.MaxDeroutSec
+		dn := interval.FromBounds(dMid-spread, dMid+spread).Clamp(0, 1)
+		comp := e.Comp
+		comp.D = dn
+		comp.DeroutSecM = approxSec
+		out.Entries = append(out.Entries, Entry{
+			Charger: e.Charger,
+			SC:      comp.SC(q.Weights),
+			Comp:    comp,
+		})
+	}
+	out.Entries = Rank(out.Entries, q.K)
+	return out
+}
+
+// tableCache is the dynamic caching state: one table per vehicle/trip.
+type tableCache struct {
+	table  OfferingTable
+	valid  bool
+	hits   int
+	misses int
+}
+
+func (c *tableCache) invalidate() { c.valid = false }
+
+func (c *tableCache) lookup(q Query, opts EcoChargeOptions) (OfferingTable, bool) {
+	if c.valid &&
+		geo.Distance(q.Anchor, c.table.Anchor) <= opts.ReuseDistM &&
+		q.Now.Sub(c.table.GeneratedAt) <= opts.TTL &&
+		!q.Now.Before(c.table.GeneratedAt) &&
+		len(c.table.Entries) > 0 {
+		c.hits++
+		return c.table, true
+	}
+	c.misses++
+	return OfferingTable{}, false
+}
+
+func (c *tableCache) store(t OfferingTable) {
+	c.table = t
+	c.valid = true
+}

@@ -1,0 +1,169 @@
+package cknn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/interval"
+)
+
+// genEntries produces a random entry pool for quick.Check.
+type genEntries []Entry
+
+func (genEntries) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 1)
+	out := make(genEntries, n)
+	for i := range out {
+		a := r.Float64()
+		b := r.Float64()
+		out[i] = Entry{
+			Charger: &charger.Charger{ID: int64(i + 1)},
+			SC:      interval.FromBounds(a, b),
+		}
+	}
+	return reflect.ValueOf(out)
+}
+
+// Rank output is always a subset of the input pool, of size min(k, n),
+// with no duplicate chargers.
+func TestPropRankSubsetAndSize(t *testing.T) {
+	f := func(es genEntries, kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		got := Rank(es, k)
+		want := k
+		if len(es) < k {
+			want = len(es)
+		}
+		if len(got) != want {
+			return false
+		}
+		in := map[int64]bool{}
+		for _, e := range es {
+			in[e.Charger.ID] = true
+		}
+		seen := map[int64]bool{}
+		for _, e := range got {
+			if !in[e.Charger.ID] || seen[e.Charger.ID] {
+				return false
+			}
+			seen[e.Charger.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Rank output is sorted by SC midpoint, best first.
+func TestPropRankSorted(t *testing.T) {
+	f := func(es genEntries, kRaw uint8) bool {
+		got := Rank(es, int(kRaw%10)+1)
+		for i := 1; i < len(got); i++ {
+			if got[i].SC.Mid() > got[i-1].SC.Mid()+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Rank is deterministic: shuffling the input never changes the output.
+func TestPropRankOrderInvariant(t *testing.T) {
+	f := func(es genEntries, kRaw uint8, seed int64) bool {
+		k := int(kRaw%10) + 1
+		a := Rank(es, k)
+		shuffled := append(genEntries(nil), es...)
+		rand.New(rand.NewSource(seed)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b := Rank(shuffled, k)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Charger.ID != b[i].Charger.ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An entry that dominates every other on both bounds is always ranked
+// first.
+func TestPropRankDominantWins(t *testing.T) {
+	f := func(es genEntries) bool {
+		if len(es) == 0 {
+			return true
+		}
+		boss := Entry{
+			Charger: &charger.Charger{ID: 9999},
+			SC:      interval.New(1.5, 2.0), // above any generated [0,1] interval
+		}
+		got := Rank(append(es, boss), 3)
+		return len(got) > 0 && got[0].Charger.ID == 9999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The eq. 6 intersection property: every ranked charger appears in the
+// top-k of SC_max OR was padding; the chargers in both top-k sets always
+// survive.
+func TestPropRankIntersectionSurvives(t *testing.T) {
+	f := func(es genEntries, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		if len(es) == 0 {
+			return true
+		}
+		got := Rank(es, k)
+		inGot := map[int64]bool{}
+		for _, e := range got {
+			inGot[e.Charger.ID] = true
+		}
+		topMax := topIDsBy(es, k, func(e Entry) float64 { return e.SC.Max })
+		topMin := topIDsBy(es, k, func(e Entry) float64 { return e.SC.Min })
+		for id := range topMax {
+			if topMin[id] && !inGot[id] {
+				return false // in both top-k sets but dropped
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func topIDsBy(es []Entry, k int, key func(Entry) float64) map[int64]bool {
+	sorted := append([]Entry(nil), es...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0; j-- {
+			a, b := sorted[j], sorted[j-1]
+			if key(a) > key(b) || (key(a) == key(b) && a.Charger.ID < b.Charger.ID) {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			} else {
+				break
+			}
+		}
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	out := map[int64]bool{}
+	for _, e := range sorted[:k] {
+		out[e.Charger.ID] = true
+	}
+	return out
+}

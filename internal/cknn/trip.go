@@ -1,0 +1,122 @@
+package cknn
+
+import (
+	"time"
+
+	"ecocharge/internal/geo"
+	"ecocharge/internal/trajectory"
+)
+
+// TripOptions configure a continuous evaluation over a scheduled trip.
+type TripOptions struct {
+	// K chargers per Offering Table. 0 selects 3.
+	K int
+	// SegmentLenM is the trip partition length (paper: ≈3–5 km). 0
+	// selects 4 km.
+	SegmentLenM float64
+	// RadiusM is the search radius R. 0 selects 50 km.
+	RadiusM float64
+	// Weights of the SC objectives; zero value selects equal weights.
+	Weights Weights
+}
+
+func (o TripOptions) withDefaults() TripOptions {
+	if o.K <= 0 {
+		o.K = 3
+	}
+	if o.SegmentLenM <= 0 {
+		o.SegmentLenM = 4000
+	}
+	if o.RadiusM <= 0 {
+		o.RadiusM = 50000
+	}
+	return o
+}
+
+// SegmentResult pairs a trip segment with its Offering Table.
+type SegmentResult struct {
+	Segment trajectory.Segment
+	Table   OfferingTable
+}
+
+// QueryForSegment builds the CkNN-EC query of one trip segment: the anchor
+// is the segment's representative point, the return node is the segment's
+// end (the vehicle rejoins its route there after a charging detour), and
+// all forecasts are issued at the trip's departure — so estimate horizons
+// grow along the trip, exactly the regime that makes the components
+// "estimated".
+func QueryForSegment(trip trajectory.Trip, seg trajectory.Segment, opts TripOptions) Query {
+	opts = opts.withDefaults()
+	end := seg.Nodes[len(seg.Nodes)-1]
+	return Query{
+		Anchor:     seg.Anchor,
+		AnchorNode: seg.AnchorNode,
+		ReturnNode: end,
+		Now:        trip.Depart,
+		ETABase:    seg.ETA,
+		K:          opts.K,
+		RadiusM:    opts.RadiusM,
+		Weights:    opts.Weights,
+	}
+}
+
+// RunTrip evaluates the method over every segment of the trip in travel
+// order (the continuous CkNN-EC evaluation of §III.A), resetting the
+// method's per-trip state first. The i-th result corresponds to segment i.
+func RunTrip(env *Env, method Method, trip trajectory.Trip, opts TripOptions) []SegmentResult {
+	opts = opts.withDefaults()
+	method.Reset()
+	segs := trajectory.SegmentTrip(env.Graph, trip, opts.SegmentLenM)
+	out := make([]SegmentResult, 0, len(segs))
+	for _, seg := range segs {
+		q := QueryForSegment(trip, seg, opts)
+		out = append(out, SegmentResult{Segment: seg, Table: method.Rank(q)})
+	}
+	return out
+}
+
+// SplitPoint marks a position on the trip where the kNN result set changes:
+// from this point until the next split point, NN is the valid charger set
+// (the SL structure of Tao et al. that the paper builds on).
+type SplitPoint struct {
+	P            geo.Point
+	SegmentIndex int
+	ETA          time.Time
+	NN           []int64 // ranked charger IDs valid from this point on
+}
+
+// SplitList computes the split points of a trip under the method: it walks
+// the per-segment Offering Tables and records every point where the ranked
+// top-k set differs from the previous segment's. The first split point is
+// the trip start. Between recorded points the result set is constant at
+// segment granularity (the paper's SL is maintained per processed split).
+func SplitList(env *Env, method Method, trip trajectory.Trip, opts TripOptions) []SplitPoint {
+	results := RunTrip(env, method, trip, opts)
+	var out []SplitPoint
+	var prev []int64
+	for _, r := range results {
+		ids := r.Table.IDs()
+		if len(out) == 0 || !sameIDs(prev, ids) {
+			out = append(out, SplitPoint{
+				P:            r.Segment.Start,
+				SegmentIndex: r.Segment.Index,
+				ETA:          r.Segment.ETA,
+				NN:           ids,
+			})
+			prev = ids
+		}
+	}
+	return out
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

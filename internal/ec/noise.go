@@ -1,0 +1,47 @@
+// Package ec implements the three Estimated Components of the paper
+// (§III.B): the sustainable charging level L driven by a weather/solar
+// model, the charger availability A driven by busy timetables, and the
+// derouting cost D driven by a traffic model. Each model produces interval
+// estimates whose width grows with the forecast horizon, mirroring the
+// GFS/ECMWF accuracy figures the paper cites (95–96 % up to 12 h, 85–95 %
+// up to 3 days).
+//
+// All randomness is deterministic: models derive "ground truth" from hash
+// noise over (seed, entity, time-bucket), so experiments are reproducible
+// and a forecast at horizon zero converges to the truth.
+package ec
+
+import "math"
+
+// splitmix64 is the finalizer of the SplitMix64 generator, used as a cheap
+// high-quality hash for deterministic noise.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashNoise returns a deterministic pseudo-random value in [0, 1) derived
+// from the given keys.
+func hashNoise(keys ...uint64) float64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, k := range keys {
+		h = splitmix64(h ^ k)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// smoothNoise returns noise in [0,1) that varies smoothly over t (hours):
+// linear interpolation between hash noise at integer hour buckets. Smooth
+// variation matters because cloud cover and crowding do not jump between
+// samples.
+func smoothNoise(seed, entity uint64, tHours float64) float64 {
+	h0 := math.Floor(tHours)
+	frac := tHours - h0
+	a := hashNoise(seed, entity, uint64(int64(h0)))
+	b := hashNoise(seed, entity, uint64(int64(h0)+1))
+	// Smoothstep interpolation avoids derivative discontinuities.
+	s := frac * frac * (3 - 2*frac)
+	return a*(1-s) + b*s
+}

@@ -1,0 +1,92 @@
+package ec
+
+import (
+	"math"
+	"time"
+
+	"ecocharge/internal/interval"
+)
+
+// WindModel predicts production of wind turbines attached to charger
+// sites. The paper's RES integration names "photovoltaic panels, wind
+// turbines" (§I); wind complements solar with a very different profile —
+// it produces at night and in winter, with synoptic (multi-day) rather
+// than diurnal variability, and its forecasts degrade faster than solar
+// because wind speed errors cube into power errors.
+type WindModel struct {
+	Seed int64
+	// MeanCapacityFactor in (0,1) is the long-run average output fraction.
+	// Default 0.30 (onshore).
+	MeanCapacityFactor float64
+}
+
+// NewWindModel returns a model with the default capacity factor.
+func NewWindModel(seed int64) *WindModel {
+	return &WindModel{Seed: seed, MeanCapacityFactor: 0.30}
+}
+
+func (m *WindModel) meanCF() float64 {
+	if m.MeanCapacityFactor <= 0 || m.MeanCapacityFactor >= 1 {
+		return 0.30
+	}
+	return m.MeanCapacityFactor
+}
+
+// capacityFactor returns the true output fraction in [0,1] for the site's
+// weather cell at t: a slow synoptic process (~36 h timescale) modulated
+// by a mild nocturnal boost (stable boundary layer winds).
+func (m *WindModel) capacityFactor(site Site, t time.Time) float64 {
+	cellLat := int64(math.Floor(site.P.Lat * 4)) // coarser cells than solar: wind fronts are wide
+	cellLon := int64(math.Floor(site.P.Lon * 4))
+	cell := uint64(cellLat)<<32 ^ uint64(uint32(cellLon))
+	// Synoptic noise: interpolate 36-hour buckets.
+	synoptic := smoothNoise(uint64(m.Seed)^windSalt, cell, float64(t.Unix())/3600/36)
+	// Map uniform noise through a skewed curve so calm spells and storms
+	// both occur; scale to the configured mean.
+	cf := math.Pow(synoptic, 1.6) * m.meanCF() / 0.38
+	// Nocturnal boost up to +15%.
+	h := float64(t.Hour())
+	night := 0.15 * math.Exp(-sq(h-2)/18)
+	cf *= 1 + night
+	if cf > 1 {
+		cf = 1
+	}
+	return cf
+}
+
+// windSalt decorrelates wind noise from the other EC streams.
+const windSalt uint64 = 0x3b1ade5
+
+// Truth returns the actual wind production in kW at t for a site whose
+// CapacityKW is the turbine nameplate rating.
+func (m *WindModel) Truth(site Site, t time.Time) float64 {
+	return site.CapacityKW * m.capacityFactor(site, t)
+}
+
+// windForecastError is the relative half-width at the horizon: wind power
+// forecasts degrade roughly twice as fast as irradiance forecasts.
+func windForecastError(horizon time.Duration) float64 {
+	h := horizon.Hours()
+	switch {
+	case h <= 0:
+		return 0.01
+	case h <= 12:
+		return 0.09 * h / 12
+	case h <= 72:
+		return 0.09 + (0.20-0.09)*(h-12)/60
+	default:
+		return 0.30
+	}
+}
+
+// Forecast returns the production interval at t for a forecast issued at
+// issuedAt, clamped to the physical [0, capacity] range and containing the
+// truth.
+func (m *WindModel) Forecast(site Site, t, issuedAt time.Time) interval.I {
+	if site.CapacityKW <= 0 {
+		return interval.Exact(0)
+	}
+	truth := m.Truth(site, t)
+	err := windForecastError(t.Sub(issuedAt)) * site.CapacityKW
+	return interval.New(truth-err, truth+err).Clamp(0, site.CapacityKW)
+}

@@ -1,0 +1,89 @@
+package ec
+
+import (
+	"testing"
+	"time"
+)
+
+var windSite = Site{ID: 3, P: nicosia, CapacityKW: 30}
+
+func TestWindTruthBounds(t *testing.T) {
+	m := NewWindModel(1)
+	for h := 0; h < 72; h++ {
+		ts := noon.Add(time.Duration(h) * time.Hour)
+		v := m.Truth(windSite, ts)
+		if v < 0 || v > windSite.CapacityKW {
+			t.Fatalf("wind truth %v outside [0, %v] at +%dh", v, windSite.CapacityKW, h)
+		}
+	}
+}
+
+func TestWindProducesAtNight(t *testing.T) {
+	// Unlike solar, wind output over a long window must be nonzero at
+	// night somewhere.
+	m := NewWindModel(2)
+	var nightTotal float64
+	for d := 0; d < 14; d++ {
+		ts := time.Date(2024, 6, 1+d, 2, 0, 0, 0, time.UTC)
+		nightTotal += m.Truth(windSite, ts)
+	}
+	if nightTotal == 0 {
+		t.Fatal("two weeks of nights with zero wind production")
+	}
+}
+
+func TestWindForecastContainsTruth(t *testing.T) {
+	m := NewWindModel(3)
+	for _, horizon := range []time.Duration{0, 2 * time.Hour, 24 * time.Hour, 90 * time.Hour} {
+		target := noon.Add(horizon)
+		iv := m.Forecast(windSite, target, noon)
+		truth := m.Truth(windSite, target)
+		if !iv.Contains(truth) && iv.Min > 0 && iv.Max < windSite.CapacityKW {
+			t.Errorf("horizon %v: forecast %v missing truth %.2f", horizon, iv, truth)
+		}
+		if iv.Min < 0 || iv.Max > windSite.CapacityKW {
+			t.Errorf("forecast %v outside physical range", iv)
+		}
+	}
+}
+
+func TestWindForecastWidthGrows(t *testing.T) {
+	m := NewWindModel(4)
+	target := noon.Add(48 * time.Hour)
+	near := m.Forecast(windSite, target, target.Add(-time.Hour)).Width()
+	far := m.Forecast(windSite, target, target.Add(-60*time.Hour)).Width()
+	if far < near {
+		t.Errorf("wind forecast width shrank with horizon: %v vs %v", near, far)
+	}
+}
+
+func TestWindErrorFasterThanSolar(t *testing.T) {
+	// Wind forecasts degrade faster than irradiance forecasts at the same
+	// horizon (the justification for separate error schedules).
+	for _, h := range []time.Duration{6 * time.Hour, 24 * time.Hour, 96 * time.Hour} {
+		if windForecastError(h) <= ForecastError(h) {
+			t.Errorf("at %v: wind error %v not above solar %v", h, windForecastError(h), ForecastError(h))
+		}
+	}
+}
+
+func TestWindZeroCapacity(t *testing.T) {
+	m := NewWindModel(5)
+	iv := m.Forecast(Site{ID: 9, P: nicosia, CapacityKW: 0}, noon, noon)
+	if iv.Min != 0 || iv.Max != 0 {
+		t.Errorf("zero-capacity site forecast %v", iv)
+	}
+}
+
+func TestWindSynopticVariability(t *testing.T) {
+	// Output must actually vary across days (not a constant).
+	m := NewWindModel(6)
+	seen := map[int]bool{}
+	for d := 0; d < 20; d++ {
+		ts := time.Date(2024, 6, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+		seen[int(m.Truth(windSite, ts)/3)] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("wind output too uniform across 20 days: %d buckets", len(seen))
+	}
+}

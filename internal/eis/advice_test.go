@@ -1,0 +1,69 @@
+package eis
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestAdviceEndpoint(t *testing.T) {
+	_, client, env := testServer(t)
+	center := env.Graph.Bounds().Center()
+	resp, err := client.Advice(context.Background(), AdviceRequest{
+		Lat: center.Lat, Lon: center.Lon, K: 3, RadiusM: 8000, Now: fixedNow,
+	})
+	if err != nil {
+		t.Fatalf("Advice: %v", err)
+	}
+	if len(resp.Entries) != 3 {
+		t.Fatalf("got %d entries", len(resp.Entries))
+	}
+	for i, e := range resp.Entries {
+		if e.Band == "" {
+			t.Errorf("entry %d missing tariff band", i)
+		}
+		gs := e.GS.Interval()
+		sc := e.SC.Interval()
+		if gs.Mid() > sc.Mid() {
+			t.Errorf("entry %d: GS %v above SC %v (penalties only subtract)", i, gs, sc)
+		}
+		if p := e.Price.Interval(); p.Min <= 0 {
+			t.Errorf("entry %d: non-positive price %v", i, p)
+		}
+		if st := e.Stress.Interval(); st.Min < 0 || st.Max > 1 {
+			t.Errorf("entry %d: stress %v out of range", i, st)
+		}
+	}
+	// Entries ordered by GS midpoint.
+	for i := 1; i < len(resp.Entries); i++ {
+		if resp.Entries[i].GS.Interval().Mid() > resp.Entries[i-1].GS.Interval().Mid()+1e-9 {
+			t.Errorf("advice not sorted at %d", i)
+		}
+	}
+}
+
+func TestAdviceValidation(t *testing.T) {
+	ts, _, _ := testServer(t)
+	for name, body := range map[string]string{
+		"bad json": `{`,
+		"bad lat":  `{"lat": 95, "lon": 8}`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/v1/advice", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/advice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET advice: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,148 @@
+package eis
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/geo"
+)
+
+// Client talks to an EcoCharge Information Server. It covers Mode 2
+// (server-computed Offering Tables) and the data pulls Mode 3 edge
+// computation needs.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the EIS at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient selects a default with a 10 s
+// timeout.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: baseURL, hc: httpClient}
+}
+
+func (c *Client) get(ctx context.Context, path string, query url.Values, out interface{}) error {
+	u := c.base + APIVersion + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("eis client: building request: %w", err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("eis client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+APIVersion+path, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("eis client: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out interface{}) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("eis client: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("eis client: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("eis client: %s: %s (HTTP %d)", req.URL.Path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("eis client: %s: HTTP %d", req.URL.Path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("eis client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Chargers fetches the chargers within radius meters of p.
+func (c *Client) Chargers(ctx context.Context, p geo.Point, radiusM float64) ([]charger.Charger, error) {
+	q := url.Values{}
+	q.Set("lat", fmt.Sprintf("%f", p.Lat))
+	q.Set("lon", fmt.Sprintf("%f", p.Lon))
+	q.Set("radius_m", fmt.Sprintf("%f", radiusM))
+	var out []charger.Charger
+	if err := c.get(ctx, "/chargers", q, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Weather fetches the production forecast for a charger at time t.
+func (c *Client) Weather(ctx context.Context, chargerID int64, t time.Time) (WeatherResponse, error) {
+	q := url.Values{}
+	q.Set("charger", fmt.Sprintf("%d", chargerID))
+	q.Set("t", t.Format(time.RFC3339))
+	var out WeatherResponse
+	err := c.get(ctx, "/weather", q, &out)
+	return out, err
+}
+
+// Availability fetches the availability estimate for a charger at time t.
+func (c *Client) Availability(ctx context.Context, chargerID int64, t time.Time) (AvailabilityResponse, error) {
+	q := url.Values{}
+	q.Set("charger", fmt.Sprintf("%d", chargerID))
+	q.Set("t", t.Format(time.RFC3339))
+	var out AvailabilityResponse
+	err := c.get(ctx, "/availability", q, &out)
+	return out, err
+}
+
+// Traffic fetches the congestion band per road class at time t.
+func (c *Client) Traffic(ctx context.Context, t time.Time) (TrafficResponse, error) {
+	q := url.Values{}
+	q.Set("t", t.Format(time.RFC3339))
+	var out TrafficResponse
+	err := c.get(ctx, "/traffic", q, &out)
+	return out, err
+}
+
+// Offering requests a server-computed Offering Table (Mode 2).
+func (c *Client) Offering(ctx context.Context, req OfferingRequest) (OfferingResponse, error) {
+	var out OfferingResponse
+	err := c.post(ctx, "/offering", req, &out)
+	return out, err
+}
+
+// Healthy reports whether the server answers its health check.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,78 @@
+package eis
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A 200 response with a non-JSON body must surface a decode error, not a
+// zero-value result.
+func TestClientRejectsMalformedBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("<html>not json</html>"))
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	if _, err := client.Traffic(context.Background(), time.Now()); err == nil {
+		t.Fatal("malformed body accepted")
+	} else if !strings.Contains(err.Error(), "decoding") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// Error responses with JSON bodies carry the server's message through.
+func TestClientSurfacesServerErrorMessage(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"error":"location not on the road network"}`))
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	_, err := client.Offering(context.Background(), OfferingRequest{Lat: 53, Lon: 8})
+	if err == nil || !strings.Contains(err.Error(), "location not on the road network") {
+		t.Fatalf("server message lost: %v", err)
+	}
+}
+
+// Context cancellation aborts in-flight requests.
+func TestClientHonorsContext(t *testing.T) {
+	blocked := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		<-blocked
+	}))
+	defer ts.Close()
+	defer close(blocked)
+	client := NewClient(ts.URL, &http.Client{})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := client.Traffic(ctx, time.Now()); err == nil {
+		t.Fatal("cancelled request succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation not honored promptly")
+	}
+}
+
+// Oversized response bodies are truncated by the client's read limit
+// rather than exhausting memory; the decode then fails cleanly.
+func TestClientBoundsResponseSize(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"multiplier":{"local":{"min":1,"max":`))
+		filler := strings.Repeat(" ", 9<<20)
+		w.Write([]byte(filler))
+		w.Write([]byte(`2}}}`))
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	if _, err := client.Traffic(context.Background(), time.Now()); err == nil {
+		t.Fatal("9 MB body accepted despite the 8 MB limit")
+	}
+}

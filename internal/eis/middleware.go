@@ -1,0 +1,79 @@
+package eis
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Middleware wraps the EIS handler with production hygiene: panic
+// recovery, optional request logging, and a hard cap on in-flight
+// requests (the paper's EIS serves a whole fleet; an overloaded Mode 2
+// server should shed load instead of queueing unboundedly).
+type Middleware struct {
+	// MaxInFlight caps concurrent requests; 0 disables shedding.
+	MaxInFlight int
+	// Logger receives one line per request; nil disables logging.
+	Logger *log.Logger
+
+	slots chan struct{}
+}
+
+// Wrap applies the middleware to h.
+func (m *Middleware) Wrap(h http.Handler) http.Handler {
+	if m.MaxInFlight > 0 {
+		m.slots = make(chan struct{}, m.MaxInFlight)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if m.slots != nil {
+			select {
+			case m.slots <- struct{}{}:
+				defer func() { <-m.slots }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"error":"server overloaded"}`, http.StatusServiceUnavailable)
+				if m.Logger != nil {
+					m.Logger.Printf("eis: shed %s %s", r.Method, r.URL.Path)
+				}
+				return
+			}
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if m.Logger != nil {
+					m.Logger.Printf("eis: panic on %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				}
+				// Headers may already be gone; best effort.
+				http.Error(sw, `{"error":"internal error"}`, http.StatusInternalServerError)
+				return
+			}
+			if m.Logger != nil {
+				m.Logger.Printf("eis: %s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Millisecond))
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter records the response code for the log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wroteHeader {
+		sw.status = code
+		sw.wroteHeader = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wroteHeader = true
+	return sw.ResponseWriter.Write(b)
+}

@@ -1,0 +1,117 @@
+package eis
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMiddlewareLogsRequests(t *testing.T) {
+	var buf bytes.Buffer
+	mw := &Middleware{Logger: log.New(&buf, "", 0)}
+	h := mw.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(buf.String(), "GET /x -> 418") {
+		t.Errorf("log line missing: %q", buf.String())
+	}
+}
+
+func TestMiddlewareRecoversPanics(t *testing.T) {
+	var buf bytes.Buffer
+	mw := &Middleware{Logger: log.New(&buf, "", 0)}
+	h := mw.Wrap(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(buf.String(), "panic") || !strings.Contains(buf.String(), "boom") {
+		t.Errorf("panic not logged: %q", buf.String())
+	}
+}
+
+func TestMiddlewareShedsLoad(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	mw := &Middleware{MaxInFlight: 2}
+	h := mw.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		started <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Occupy both slots.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	<-started
+	<-started
+	// Third request must be shed immediately.
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("missing Retry-After")
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestMiddlewareEndToEndWithServer(t *testing.T) {
+	env := testEnv(t)
+	srv := NewServer(env, ServerOptions{Clock: func() time.Time { return fixedNow }})
+	mw := &Middleware{MaxInFlight: 16}
+	ts := httptest.NewServer(mw.Wrap(srv.Handler()))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	if !client.Healthy(context.Background()) {
+		t.Fatal("wrapped server unhealthy")
+	}
+	center := env.Graph.Bounds().Center()
+	if _, err := client.Chargers(context.Background(), center, 3000); err != nil {
+		t.Fatalf("Chargers through middleware: %v", err)
+	}
+}

@@ -1,0 +1,333 @@
+package eis
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+)
+
+// ServerOptions configure the EIS.
+type ServerOptions struct {
+	// CacheCellM is the spatial granularity of the server-side dynamic
+	// cache: offering requests landing in the same cell share a cached
+	// table. 0 selects 2 km (conservative versus the client-side Q of 5 km).
+	CacheCellM float64
+	// CacheTTL bounds cached table age. 0 selects 5 minutes.
+	CacheTTL time.Duration
+	// Clock is overridable for tests; nil selects time.Now.
+	Clock func() time.Time
+	// Logger for request errors; nil silences logging.
+	Logger *log.Logger
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.CacheCellM <= 0 {
+		o.CacheCellM = 2000
+	}
+	if o.CacheTTL <= 0 {
+		o.CacheTTL = 5 * time.Minute
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Server is the EcoCharge Information Server: it owns the environment and
+// answers the consolidated-data and Mode 2 computation endpoints.
+type Server struct {
+	env    *cknn.Env
+	engine cknn.Engine
+	opts   ServerOptions
+
+	mu    sync.Mutex
+	cache map[cacheKey]cacheVal
+}
+
+type cacheKey struct {
+	cellLat, cellLon int64
+	k                int
+	radiusM          int64
+	weights          WeightsJSON
+}
+
+type cacheVal struct {
+	resp    OfferingResponse
+	expires time.Time
+}
+
+// NewServer returns a server over the environment.
+func NewServer(env *cknn.Env, opts ServerOptions) *Server {
+	return &Server{
+		env:    env,
+		engine: cknn.Engine{Env: env},
+		opts:   opts.withDefaults(),
+		cache:  make(map[cacheKey]cacheVal),
+	}
+}
+
+// Handler returns the HTTP routes of the EIS.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(APIVersion+"/chargers", s.handleChargers)
+	mux.HandleFunc(APIVersion+"/weather", s.handleWeather)
+	mux.HandleFunc(APIVersion+"/availability", s.handleAvailability)
+	mux.HandleFunc(APIVersion+"/traffic", s.handleTraffic)
+	mux.HandleFunc(APIVersion+"/offering", s.handleOffering)
+	mux.HandleFunc(APIVersion+"/offering/trip", s.handleTripOffering)
+	mux.HandleFunc(APIVersion+"/advice", s.handleAdvice)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf("eis: %d %s", code, msg)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func parseFloat(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("parameter %q is not a finite number", name)
+	}
+	return v, nil
+}
+
+func parseTime(r *http.Request, name string, def time.Time) (time.Time, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	t, err := time.Parse(time.RFC3339, raw)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("parameter %q is not RFC3339: %v", name, err)
+	}
+	return t, nil
+}
+
+// handleChargers returns the chargers within a radius of a location
+// (the PlugShare-consolidation endpoint).
+func (s *Server) handleChargers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	lat, err := parseFloat(r, "lat")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	lon, err := parseFloat(r, "lon")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	radius, err := parseFloat(r, "radius_m")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := geo.Point{Lat: lat, Lon: lon}
+	if !p.Valid() || radius < 0 {
+		s.writeError(w, http.StatusBadRequest, "invalid location or radius")
+		return
+	}
+	writeJSON(w, s.env.Chargers.Within(p, radius))
+}
+
+// handleWeather returns the production forecast of a charger at a time
+// (the OpenWeatherMap-consolidation endpoint).
+func (s *Server) handleWeather(w http.ResponseWriter, r *http.Request) {
+	c, at, ok := s.chargerAndTime(w, r)
+	if !ok {
+		return
+	}
+	iv := s.env.ProductionForecast(c, at, s.opts.Clock())
+	writeJSON(w, WeatherResponse{ChargerID: c.ID, At: at, ProductionKW: toWire(iv)})
+}
+
+// handleAvailability returns the availability estimate of a charger
+// (the busy-timetable endpoint).
+func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
+	c, at, ok := s.chargerAndTime(w, r)
+	if !ok {
+		return
+	}
+	iv := s.env.Avail.ForecastAvailability(c.ID, &c.Timetable, at, s.opts.Clock())
+	writeJSON(w, AvailabilityResponse{ChargerID: c.ID, At: at, Availability: toWire(iv)})
+}
+
+func (s *Server) chargerAndTime(w http.ResponseWriter, r *http.Request) (c *charger.Charger, at time.Time, ok bool) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return nil, time.Time{}, false
+	}
+	idF, err := parseFloat(r, "charger")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, time.Time{}, false
+	}
+	c, found := s.env.Chargers.ByID(int64(idF))
+	if !found {
+		s.writeError(w, http.StatusNotFound, "charger %d not found", int64(idF))
+		return nil, time.Time{}, false
+	}
+	at, err = parseTime(r, "t", s.opts.Clock())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, time.Time{}, false
+	}
+	return c, at, true
+}
+
+// handleTraffic returns the congestion band per road class (the GIS
+// traffic endpoint).
+func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	at, err := parseTime(r, "t", s.opts.Clock())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	now := s.opts.Clock()
+	resp := TrafficResponse{At: at, Multiplier: make(map[string]IntervalJSON, 4)}
+	for c := roadnet.RoadClass(0); c < 4; c++ {
+		resp.Multiplier[c.String()] = toWire(s.env.Traffic.ForecastMultiplier(c, at, now))
+	}
+	writeJSON(w, resp)
+}
+
+// handleOffering is the Mode 2 endpoint: the server runs Algorithm 1 for
+// the posted query, consulting (and feeding) its dynamic cache.
+func (s *Server) handleOffering(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req OfferingRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	p := geo.Point{Lat: req.Lat, Lon: req.Lon}
+	if !p.Valid() {
+		s.writeError(w, http.StatusBadRequest, "invalid location (%v, %v)", req.Lat, req.Lon)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 3
+	}
+	if req.RadiusM <= 0 {
+		req.RadiusM = 50000
+	}
+	if req.Weights == (WeightsJSON{}) {
+		eq := cknn.EqualWeights()
+		req.Weights = WeightsJSON{L: eq.L, A: eq.A, D: eq.D}
+	}
+	weights := cknn.Weights{L: req.Weights.L, A: req.Weights.A, D: req.Weights.D}
+	if err := weights.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	now := req.Now
+	if now.IsZero() {
+		now = s.opts.Clock()
+	}
+	eta := req.ETA
+	if eta.IsZero() {
+		eta = now
+	}
+
+	key := s.cacheKeyFor(p, req)
+	if resp, ok := s.cacheGet(key, now); ok {
+		resp.Cached = true
+		writeJSON(w, resp)
+		return
+	}
+
+	node := s.env.Graph.NearestNode(p)
+	if node == roadnet.Invalid {
+		s.writeError(w, http.StatusUnprocessableEntity, "location not on the road network")
+		return
+	}
+	q := cknn.Query{
+		Anchor: p, AnchorNode: node, ReturnNode: node,
+		Now: now, ETABase: eta,
+		K: req.K, RadiusM: req.RadiusM, Weights: weights,
+	}
+	m := cknn.NewEcoCharge(s.env, cknn.EcoChargeOptions{RadiusM: req.RadiusM})
+	table := m.Rank(q)
+	resp := OfferingResponse{GeneratedAt: now}
+	for _, e := range table.Entries {
+		resp.Entries = append(resp.Entries, OfferingEntry{
+			ChargerID: e.Charger.ID,
+			Lat:       e.Charger.P.Lat,
+			Lon:       e.Charger.P.Lon,
+			RateKW:    e.Charger.Rate.KW(),
+			SC:        toWire(e.SC),
+			L:         toWire(e.Comp.L),
+			A:         toWire(e.Comp.A),
+			D:         toWire(e.Comp.D),
+			ETA:       e.Comp.ETA,
+		})
+	}
+	s.cachePut(key, resp, now)
+	writeJSON(w, resp)
+}
+
+func (s *Server) cacheKeyFor(p geo.Point, req OfferingRequest) cacheKey {
+	cell := s.opts.CacheCellM / geo.EarthRadius * 180 / math.Pi // degrees
+	return cacheKey{
+		cellLat: int64(math.Floor(p.Lat / cell)),
+		cellLon: int64(math.Floor(p.Lon / cell)),
+		k:       req.K,
+		radiusM: int64(req.RadiusM),
+		weights: req.Weights,
+	}
+}
+
+func (s *Server) cacheGet(key cacheKey, now time.Time) (OfferingResponse, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.cache[key]
+	if !ok || now.After(v.expires) {
+		return OfferingResponse{}, false
+	}
+	return v.resp, true
+}
+
+func (s *Server) cachePut(key cacheKey, resp OfferingResponse, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache[key] = cacheVal{resp: resp, expires: now.Add(s.opts.CacheTTL)}
+}

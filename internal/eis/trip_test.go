@@ -1,0 +1,132 @@
+package eis
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ecocharge/internal/geo"
+)
+
+func TestTripOfferingEndToEnd(t *testing.T) {
+	_, client, env := testServer(t)
+	b := env.Graph.Bounds()
+	req := TripOfferingRequest{
+		Waypoints: []LatLon{
+			{Lat: b.Min.Lat + 0.005, Lon: b.Min.Lon + 0.005},
+			{Lat: b.Center().Lat, Lon: b.Center().Lon},
+			{Lat: b.Max.Lat - 0.005, Lon: b.Max.Lon - 0.005},
+		},
+		Depart:      fixedNow,
+		K:           3,
+		RadiusM:     8000,
+		SegmentLenM: 2000,
+	}
+	resp, err := client.TripOffering(context.Background(), req)
+	if err != nil {
+		t.Fatalf("TripOffering: %v", err)
+	}
+	if resp.TripLengthM <= 0 {
+		t.Fatal("zero trip length")
+	}
+	if len(resp.Segments) < 2 {
+		t.Fatalf("got %d segments for a cross-town trip", len(resp.Segments))
+	}
+	if len(resp.SplitPoints) == 0 || resp.SplitPoints[0] != 0 {
+		t.Fatalf("split points = %v, must start at segment 0", resp.SplitPoints)
+	}
+	var prevETA time.Time
+	for i, seg := range resp.Segments {
+		if seg.SegmentIndex != i {
+			t.Fatalf("segment %d has index %d", i, seg.SegmentIndex)
+		}
+		if len(seg.Entries) == 0 {
+			t.Fatalf("segment %d empty", i)
+		}
+		if seg.ETA.Before(prevETA) {
+			t.Fatalf("segment %d ETA out of order", i)
+		}
+		prevETA = seg.ETA
+		anchor := geo.Point{Lat: seg.Anchor.Lat, Lon: seg.Anchor.Lon}
+		if !b.Buffer(500).Contains(anchor) {
+			t.Fatalf("segment %d anchor outside network: %v", i, anchor)
+		}
+	}
+	// The dynamic cache must serve some later segments.
+	adapted := 0
+	for _, seg := range resp.Segments {
+		if seg.Adapted {
+			adapted++
+		}
+	}
+	if adapted == 0 && len(resp.Segments) > 2 {
+		t.Error("no segment was served from the dynamic cache")
+	}
+}
+
+func TestTripOfferingValidation(t *testing.T) {
+	ts, _, _ := testServer(t)
+	cases := map[string]string{
+		"one waypoint":  `{"waypoints":[{"lat":53.05,"lon":8.05}]}`,
+		"bad waypoint":  `{"waypoints":[{"lat":95,"lon":8},{"lat":53.05,"lon":8.05}]}`,
+		"bad weights":   `{"waypoints":[{"lat":53.02,"lon":8.02},{"lat":53.05,"lon":8.05}],"weights":{"l":-1,"a":2,"d":0}}`,
+		"same waypoint": `{"waypoints":[{"lat":53.02,"lon":8.02},{"lat":53.02,"lon":8.02}]}`,
+		"garbage":       `{{{`,
+	}
+	for name, body := range cases {
+		resp, err := http.Post(ts.URL+"/api/v1/offering/trip", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/offering/trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET trip offering: status %d", resp.StatusCode)
+	}
+}
+
+func TestTripOfferingMatchesLocalSplitList(t *testing.T) {
+	_, client, env := testServer(t)
+	b := env.Graph.Bounds()
+	req := TripOfferingRequest{
+		Waypoints: []LatLon{
+			{Lat: b.Min.Lat + 0.01, Lon: b.Min.Lon + 0.01},
+			{Lat: b.Max.Lat - 0.01, Lon: b.Max.Lon - 0.01},
+		},
+		Depart: fixedNow, K: 3, RadiusM: 8000, SegmentLenM: 2000,
+	}
+	resp, err := client.TripOffering(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split points are strictly increasing segment indexes.
+	for i := 1; i < len(resp.SplitPoints); i++ {
+		if resp.SplitPoints[i] <= resp.SplitPoints[i-1] {
+			t.Fatalf("split points not increasing: %v", resp.SplitPoints)
+		}
+	}
+	// Consecutive segments flagged by a split point really differ.
+	bySeg := make(map[int][]int64)
+	for _, seg := range resp.Segments {
+		ids := make([]int64, len(seg.Entries))
+		for i, e := range seg.Entries {
+			ids[i] = e.ChargerID
+		}
+		bySeg[seg.SegmentIndex] = ids
+	}
+	for _, sp := range resp.SplitPoints[1:] {
+		if sameIDs(bySeg[sp], bySeg[sp-1]) {
+			t.Errorf("split point at %d but sets equal", sp)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package eis implements the EcoCharge Information Server of §IV and its
+// client. The server consolidates charger inventory, weather, availability
+// and traffic estimates behind a JSON HTTP API and computes Offering Tables
+// centrally (Mode 2); the client supports all three modes of operation:
+//
+//	Mode 1 — in-vehicle: the embedded OS holds the environment and computes
+//	         locally (no server involved; use cknn directly).
+//	Mode 2 — server: the client posts a query, the EIS computes the table.
+//	Mode 3 — edge: the client pulls the data (chargers + model seeds) from
+//	         the EIS once and computes tables on the phone.
+package eis
+
+import (
+	"time"
+
+	"ecocharge/internal/interval"
+)
+
+// APIVersion prefixes all routes.
+const APIVersion = "/api/v1"
+
+// IntervalJSON is the wire form of an interval estimate.
+type IntervalJSON struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+func toWire(i interval.I) IntervalJSON      { return IntervalJSON{Min: i.Min, Max: i.Max} }
+func (i IntervalJSON) Interval() interval.I { return interval.FromBounds(i.Min, i.Max) }
+
+// WeightsJSON is the wire form of the SC weights.
+type WeightsJSON struct {
+	L float64 `json:"l"`
+	A float64 `json:"a"`
+	D float64 `json:"d"`
+}
+
+// OfferingRequest asks the EIS for an Offering Table (Mode 2).
+type OfferingRequest struct {
+	Lat     float64     `json:"lat"`
+	Lon     float64     `json:"lon"`
+	K       int         `json:"k"`
+	RadiusM float64     `json:"radius_m"`
+	Weights WeightsJSON `json:"weights"`
+	// Now is when the estimate is issued; zero means server time.
+	Now time.Time `json:"now"`
+	// ETA is the arrival time at the query point; zero means Now.
+	ETA time.Time `json:"eta"`
+}
+
+// OfferingEntry is one ranked charger of the response.
+type OfferingEntry struct {
+	ChargerID int64        `json:"charger_id"`
+	Lat       float64      `json:"lat"`
+	Lon       float64      `json:"lon"`
+	RateKW    float64      `json:"rate_kw"`
+	SC        IntervalJSON `json:"sc"`
+	L         IntervalJSON `json:"l"`
+	A         IntervalJSON `json:"a"`
+	D         IntervalJSON `json:"d"`
+	ETA       time.Time    `json:"eta"`
+}
+
+// OfferingResponse is the Mode 2 result.
+type OfferingResponse struct {
+	Entries     []OfferingEntry `json:"entries"`
+	GeneratedAt time.Time       `json:"generated_at"`
+	Cached      bool            `json:"cached"` // served from the server-side dynamic cache
+}
+
+// WeatherResponse reports the production forecast of one charger site.
+type WeatherResponse struct {
+	ChargerID    int64        `json:"charger_id"`
+	At           time.Time    `json:"at"`
+	ProductionKW IntervalJSON `json:"production_kw"`
+}
+
+// AvailabilityResponse reports the availability estimate of one charger.
+type AvailabilityResponse struct {
+	ChargerID    int64        `json:"charger_id"`
+	At           time.Time    `json:"at"`
+	Availability IntervalJSON `json:"availability"`
+}
+
+// TrafficResponse reports the congestion multiplier band per road class.
+type TrafficResponse struct {
+	At         time.Time               `json:"at"`
+	Multiplier map[string]IntervalJSON `json:"multiplier"`
+}
+
+// ErrorResponse is the JSON body of non-2xx responses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

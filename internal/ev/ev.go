@@ -1,0 +1,211 @@
+// Package ev models the electric vehicle side of the framework: battery
+// state of charge, the CC-CV charging curve that couples accepted power to
+// SoC, charging-session integration against a time-varying (solar-limited)
+// supply, and trip energy consumption over the road network. The paper's
+// system model assigns vehicles charger-class limits ("a user with an
+// 11 kW AC charger car", Fig. 3) and energy edge weights (§II.A); this
+// package supplies those quantities.
+package ev
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ecocharge/internal/roadnet"
+)
+
+// Battery is a traction battery with its usable capacity and state of
+// charge.
+type Battery struct {
+	CapacityKWh float64
+	SoC         float64 // state of charge in [0, 1]
+}
+
+// EnergyKWh returns the stored energy.
+func (b Battery) EnergyKWh() float64 { return b.CapacityKWh * b.SoC }
+
+// Valid reports whether the battery parameters are physically meaningful.
+func (b Battery) Valid() bool {
+	return b.CapacityKWh > 0 && b.SoC >= 0 && b.SoC <= 1 &&
+		!math.IsNaN(b.CapacityKWh) && !math.IsNaN(b.SoC)
+}
+
+// Vehicle is an EV with its charging limits and consumption profile.
+type Vehicle struct {
+	Battery
+	// MaxACkW and MaxDCkW cap the power the on-board charger (AC) and the
+	// battery (DC) accept.
+	MaxACkW float64
+	MaxDCkW float64
+	// BaseConsumption is the flat consumption in kWh/km at urban speed;
+	// class-dependent factors scale it (drag grows with speed).
+	BaseConsumption float64
+	// AuxKW is the constant auxiliary load (HVAC, electronics) applied
+	// over driving time.
+	AuxKW float64
+}
+
+// CompactEV returns a typical compact EV: 58 kWh pack, 11 kW AC / 150 kW
+// DC, 0.155 kWh/km base consumption.
+func CompactEV() Vehicle {
+	return Vehicle{
+		Battery:         Battery{CapacityKWh: 58, SoC: 0.5},
+		MaxACkW:         11,
+		MaxDCkW:         150,
+		BaseConsumption: 0.155,
+		AuxKW:           0.5,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (v Vehicle) Validate() error {
+	if !v.Battery.Valid() {
+		return fmt.Errorf("ev: invalid battery %+v", v.Battery)
+	}
+	if v.MaxACkW <= 0 || v.MaxDCkW <= 0 {
+		return fmt.Errorf("ev: non-positive charging limits AC=%v DC=%v", v.MaxACkW, v.MaxDCkW)
+	}
+	if v.BaseConsumption <= 0 {
+		return fmt.Errorf("ev: non-positive consumption %v", v.BaseConsumption)
+	}
+	if v.AuxKW < 0 {
+		return fmt.Errorf("ev: negative auxiliary load %v", v.AuxKW)
+	}
+	return nil
+}
+
+// cvKnee is the SoC where constant-current charging ends and the
+// constant-voltage taper begins.
+const cvKnee = 0.80
+
+// taperFloor is the relative power accepted as SoC approaches 1.
+const taperFloor = 0.05
+
+// AcceptedKW returns the power the vehicle draws when offered offeredKW at
+// the given SoC over a DC (dc=true) or AC connection: the offer is capped
+// by the connection limit, then tapered above the CV knee.
+func (v Vehicle) AcceptedKW(offeredKW float64, dc bool, soc float64) float64 {
+	if offeredKW <= 0 || soc >= 1 {
+		return 0
+	}
+	limit := v.MaxACkW
+	if dc {
+		limit = v.MaxDCkW
+	}
+	p := math.Min(offeredKW, limit)
+	if soc <= cvKnee {
+		return p
+	}
+	// Linear taper from 1.0 at the knee to taperFloor at SoC 1.
+	frac := 1 - (soc-cvKnee)/(1-cvKnee)*(1-taperFloor)
+	return p * frac
+}
+
+// Charge integrates a charging session from `from` for `dur` against a
+// time-varying supply (e.g. solar-limited production), advancing the SoC
+// in 1-minute steps. It returns the energy gained. The supply function
+// receives absolute time; dc selects the connection type.
+func (v *Vehicle) Charge(supplyKW func(time.Time) float64, dc bool, from time.Time, dur time.Duration) (gainedKWh float64) {
+	if dur <= 0 {
+		return 0
+	}
+	const step = time.Minute
+	for t := from; t.Before(from.Add(dur)); t = t.Add(step) {
+		p := v.AcceptedKW(supplyKW(t), dc, v.SoC)
+		if p <= 0 {
+			continue
+		}
+		dE := p * step.Hours()
+		room := v.CapacityKWh * (1 - v.SoC)
+		if dE > room {
+			dE = room
+		}
+		v.SoC += dE / v.CapacityKWh
+		gainedKWh += dE
+		if v.SoC >= 1 {
+			v.SoC = 1
+			break
+		}
+	}
+	return gainedKWh
+}
+
+// TimeToSoC estimates how long charging at a constant offered power takes
+// to reach targetSoC, integrating the taper in 1-minute steps. It returns
+// false when the target is unreachable (zero accepted power).
+func (v Vehicle) TimeToSoC(targetSoC, offeredKW float64, dc bool) (time.Duration, bool) {
+	if targetSoC <= v.SoC {
+		return 0, true
+	}
+	if targetSoC > 1 {
+		targetSoC = 1
+	}
+	soc := v.SoC
+	const step = time.Minute
+	var elapsed time.Duration
+	// Bound the loop: even a trickle charge finishes a pack within a week.
+	for elapsed < 7*24*time.Hour {
+		p := v.AcceptedKW(offeredKW, dc, soc)
+		if p <= 0 {
+			return 0, false
+		}
+		soc += p * step.Hours() / v.CapacityKWh
+		elapsed += step
+		if soc >= targetSoC {
+			return elapsed, true
+		}
+	}
+	return 0, false
+}
+
+// classFactor scales consumption per road class (drag at speed).
+func classFactor(c roadnet.RoadClass) float64 {
+	switch c {
+	case roadnet.ClassLocal:
+		return 1.0
+	case roadnet.ClassArterial:
+		return 0.95 // steady flow beats stop-and-go
+	case roadnet.ClassHighway:
+		return 1.10
+	case roadnet.ClassMotorway:
+		return 1.30
+	}
+	return 1.0
+}
+
+// TripEnergyKWh returns the traction + auxiliary energy of driving the
+// path at free-flow speeds.
+func (v Vehicle) TripEnergyKWh(g *roadnet.Graph, path roadnet.Path) float64 {
+	var traction, seconds float64
+	for i := 1; i < len(path.Nodes); i++ {
+		prev, next := path.Nodes[i-1], path.Nodes[i]
+		found := false
+		g.OutEdges(prev, func(e roadnet.Edge) {
+			if e.To == next && !found {
+				traction += e.Length / 1000 * v.BaseConsumption * classFactor(e.Class)
+				seconds += e.Length / e.Class.FreeFlowSpeed()
+				found = true
+			}
+		})
+	}
+	return traction + v.AuxKW*seconds/3600
+}
+
+// RangeKM estimates the remaining urban range.
+func (v Vehicle) RangeKM() float64 {
+	if v.BaseConsumption <= 0 {
+		return 0
+	}
+	return v.EnergyKWh() / v.BaseConsumption
+}
+
+// CanReach reports whether the vehicle's current charge covers the path
+// with the given reserve fraction kept (e.g. 0.1 keeps 10 % SoC).
+func (v Vehicle) CanReach(g *roadnet.Graph, path roadnet.Path, reserve float64) bool {
+	if reserve < 0 {
+		reserve = 0
+	}
+	need := v.TripEnergyKWh(g, path) + v.CapacityKWh*reserve
+	return v.EnergyKWh() >= need
+}

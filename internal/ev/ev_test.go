@@ -1,0 +1,232 @@
+package ev
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+)
+
+var chargeStart = time.Date(2024, 6, 18, 10, 0, 0, 0, time.UTC)
+
+func TestCompactEVValid(t *testing.T) {
+	v := CompactEV()
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.EnergyKWh() != 29 {
+		t.Errorf("half-charged 58 kWh pack holds %v", v.EnergyKWh())
+	}
+	if r := v.RangeKM(); r < 150 || r > 250 {
+		t.Errorf("range %v km implausible for half charge", r)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Vehicle{
+		{Battery: Battery{CapacityKWh: 0, SoC: 0.5}, MaxACkW: 11, MaxDCkW: 50, BaseConsumption: 0.15},
+		{Battery: Battery{CapacityKWh: 58, SoC: 1.5}, MaxACkW: 11, MaxDCkW: 50, BaseConsumption: 0.15},
+		{Battery: Battery{CapacityKWh: 58, SoC: 0.5}, MaxACkW: 0, MaxDCkW: 50, BaseConsumption: 0.15},
+		{Battery: Battery{CapacityKWh: 58, SoC: 0.5}, MaxACkW: 11, MaxDCkW: 50, BaseConsumption: 0},
+		{Battery: Battery{CapacityKWh: 58, SoC: 0.5}, MaxACkW: 11, MaxDCkW: 50, BaseConsumption: 0.15, AuxKW: -1},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, v)
+		}
+	}
+}
+
+func TestAcceptedKWCurve(t *testing.T) {
+	v := CompactEV()
+	// AC capped at the on-board charger.
+	if got := v.AcceptedKW(22, false, 0.5); got != 11 {
+		t.Errorf("AC accepted %v, want 11", got)
+	}
+	// DC passes more.
+	if got := v.AcceptedKW(50, true, 0.5); got != 50 {
+		t.Errorf("DC accepted %v, want 50", got)
+	}
+	if got := v.AcceptedKW(300, true, 0.5); got != 150 {
+		t.Errorf("DC accepted %v, want the 150 limit", got)
+	}
+	// Taper: less power above the knee, near-zero at full.
+	full := v.AcceptedKW(50, true, 0.5)
+	high := v.AcceptedKW(50, true, 0.9)
+	top := v.AcceptedKW(50, true, 0.999)
+	if !(full > high && high > top) {
+		t.Errorf("taper not monotone: %.1f, %.1f, %.1f", full, high, top)
+	}
+	if got := v.AcceptedKW(50, true, 1.0); got != 0 {
+		t.Errorf("full battery accepted %v", got)
+	}
+	if got := v.AcceptedKW(0, true, 0.5); got != 0 {
+		t.Errorf("zero offer accepted %v", got)
+	}
+	if got := v.AcceptedKW(-5, true, 0.5); got != 0 {
+		t.Errorf("negative offer accepted %v", got)
+	}
+}
+
+func TestPropAcceptedKWBounded(t *testing.T) {
+	v := CompactEV()
+	f := func(offer, socRaw float64, dc bool) bool {
+		offer = math.Abs(math.Mod(offer, 500))
+		soc := math.Abs(math.Mod(socRaw, 1))
+		p := v.AcceptedKW(offer, dc, soc)
+		limit := v.MaxACkW
+		if dc {
+			limit = v.MaxDCkW
+		}
+		return p >= 0 && p <= math.Min(offer, limit)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeConstantSupply(t *testing.T) {
+	v := CompactEV()
+	v.SoC = 0.2
+	gained := v.Charge(func(time.Time) float64 { return 11 }, false, chargeStart, time.Hour)
+	// One hour at 11 kW below the knee gains ~11 kWh.
+	if math.Abs(gained-11) > 0.5 {
+		t.Errorf("gained %v kWh in 1h at 11 kW", gained)
+	}
+	wantSoC := 0.2 + gained/58
+	if math.Abs(v.SoC-wantSoC) > 1e-9 {
+		t.Errorf("SoC %v inconsistent with gain", v.SoC)
+	}
+}
+
+func TestChargeStopsAtFull(t *testing.T) {
+	v := CompactEV()
+	v.SoC = 0.99
+	gained := v.Charge(func(time.Time) float64 { return 150 }, true, chargeStart, 10*time.Hour)
+	if v.SoC != 1 {
+		t.Errorf("SoC %v after overlong charge", v.SoC)
+	}
+	if math.Abs(gained-0.01*58) > 0.2 {
+		t.Errorf("gained %v, want ~%.2f", gained, 0.01*58)
+	}
+	// Charging a full battery gains nothing.
+	if g := v.Charge(func(time.Time) float64 { return 150 }, true, chargeStart, time.Hour); g != 0 {
+		t.Errorf("full battery gained %v", g)
+	}
+	// Zero / negative duration gains nothing.
+	if g := v.Charge(func(time.Time) float64 { return 150 }, true, chargeStart, 0); g != 0 {
+		t.Errorf("zero duration gained %v", g)
+	}
+}
+
+func TestChargeVariableSupply(t *testing.T) {
+	// Supply available only in the second half-hour; the gain must reflect
+	// that.
+	v := CompactEV()
+	v.SoC = 0.3
+	cutover := chargeStart.Add(30 * time.Minute)
+	gained := v.Charge(func(t time.Time) float64 {
+		if t.Before(cutover) {
+			return 0
+		}
+		return 11
+	}, false, chargeStart, time.Hour)
+	if math.Abs(gained-5.5) > 0.3 {
+		t.Errorf("gained %v kWh, want ~5.5", gained)
+	}
+}
+
+func TestTimeToSoC(t *testing.T) {
+	v := CompactEV()
+	v.SoC = 0.2
+	// 0.2 → 0.8 at 11 kW: 0.6·58/11 ≈ 3.16 h (no taper below the knee).
+	d, ok := v.TimeToSoC(0.8, 11, false)
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	want := 0.6 * 58 / 11 * float64(time.Hour)
+	if math.Abs(float64(d)-want) > float64(5*time.Minute) {
+		t.Errorf("time to 80%% = %v, want ~%v", d, time.Duration(want))
+	}
+	// Charging into the taper takes disproportionately longer.
+	d100, ok := v.TimeToSoC(1.0, 11, false)
+	if !ok {
+		t.Fatal("full charge unreachable")
+	}
+	linear := 0.8 * 58 / 11 * float64(time.Hour)
+	if float64(d100) < linear {
+		t.Errorf("taper ignored: %v for full charge", d100)
+	}
+	// Already there.
+	if d, ok := v.TimeToSoC(0.1, 11, false); !ok || d != 0 {
+		t.Errorf("target below SoC: %v %v", d, ok)
+	}
+	// Zero power never reaches.
+	if _, ok := v.TimeToSoC(0.9, 0, false); ok {
+		t.Error("zero power reported reachable")
+	}
+}
+
+func evGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	return roadnet.GenerateUrban(roadnet.UrbanConfig{
+		Origin: geo.Point{Lat: 53.0, Lon: 8.0}, WidthKM: 8, HeightKM: 6,
+		SpacingM: 500, RemoveFrac: 0.05, JitterFrac: 0.2, ArterialEach: 4, Seed: 1,
+	})
+}
+
+func TestTripEnergy(t *testing.T) {
+	g := evGraph(t)
+	path, ok := g.ShortestPath(0, roadnet.NodeID(g.NumNodes()-1), roadnet.DistanceWeight)
+	if !ok {
+		t.Fatal("no path")
+	}
+	v := CompactEV()
+	e := v.TripEnergyKWh(g, path)
+	km := path.Weight / 1000
+	// Plausibility: between base consumption and 2× (aux + class factors).
+	if e < km*v.BaseConsumption*0.9 || e > km*v.BaseConsumption*2 {
+		t.Errorf("trip energy %v kWh for %.1f km implausible", e, km)
+	}
+	// Empty path costs nothing.
+	if got := v.TripEnergyKWh(g, roadnet.Path{}); got != 0 {
+		t.Errorf("empty path energy %v", got)
+	}
+}
+
+func TestCanReach(t *testing.T) {
+	g := evGraph(t)
+	path, ok := g.ShortestPath(0, roadnet.NodeID(g.NumNodes()-1), roadnet.DistanceWeight)
+	if !ok {
+		t.Fatal("no path")
+	}
+	v := CompactEV()
+	v.SoC = 0.9
+	if !v.CanReach(g, path, 0.1) {
+		t.Error("90% pack cannot cover a ~10 km trip")
+	}
+	v.SoC = 0.005
+	if v.CanReach(g, path, 0.1) {
+		t.Error("nearly-empty pack claims to cover the trip with reserve")
+	}
+	// Negative reserve is treated as zero.
+	v.SoC = 0.05
+	_ = v.CanReach(g, path, -1)
+}
+
+func TestPropChargeNeverExceedsCapacity(t *testing.T) {
+	f := func(socRaw, supplyRaw float64, minutes uint16) bool {
+		v := CompactEV()
+		v.SoC = math.Abs(math.Mod(socRaw, 1))
+		supply := math.Abs(math.Mod(supplyRaw, 400))
+		v.Charge(func(time.Time) float64 { return supply }, true, chargeStart,
+			time.Duration(minutes%600)*time.Minute)
+		return v.SoC >= 0 && v.SoC <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package experiment
+
+import "testing"
+
+func TestRunDesignAblation(t *testing.T) {
+	sc := tinyScenario(t)
+	ms, err := RunDesignAblation(sc, tinyConfig())
+	if err != nil {
+		t.Fatalf("RunDesignAblation: %v", err)
+	}
+	byName := map[string]Measurement{}
+	for _, m := range ms {
+		byName[m.Method] = m
+	}
+	full, ok1 := byName["EcoCharge"]
+	noCache, ok2 := byName["Eco-NoCache"]
+	exact, ok3 := byName["Eco-ExactIntervals"]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing variants: %v", ms)
+	}
+	// Disabling the cache removes hits and must not be faster.
+	if noCache.CacheHits != 0 {
+		t.Errorf("no-cache variant still hit %d times", noCache.CacheHits)
+	}
+	if noCache.FtMillis.Mean < full.FtMillis.Mean {
+		t.Errorf("no-cache faster than cached: %.2f vs %.2f", noCache.FtMillis.Mean, full.FtMillis.Mean)
+	}
+	// The no-cache variant is at least as accurate (no stale adaptation).
+	if noCache.SCPercent.Mean < full.SCPercent.Mean-1 {
+		t.Errorf("no-cache less accurate: %.1f vs %.1f", noCache.SCPercent.Mean, full.SCPercent.Mean)
+	}
+	// Exact intervals cost more time than the approximation.
+	if exact.FtMillis.Mean < full.FtMillis.Mean {
+		t.Errorf("exact intervals faster than approx: %.2f vs %.2f", exact.FtMillis.Mean, full.FtMillis.Mean)
+	}
+	// And land close in accuracy.
+	if diff := exact.SCPercent.Mean - full.SCPercent.Mean; diff > 5 || diff < -5 {
+		t.Errorf("approximation costs %.1f SC points", diff)
+	}
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/stats"
+	"ecocharge/internal/trajectory"
+)
+
+// RunHorizonSweep measures what the "estimated" in Estimated Components
+// costs: the same EcoCharge queries are answered with forecasts issued
+// progressively earlier (larger horizons mean wider L/A/D intervals), and
+// each answer is scored against ground truth and against a brute-force
+// oracle that also plans at the same horizon. As the horizon grows the
+// intervals widen, the eq. 6 intersection gets less informative, and SC%
+// decays — quantifying the paper's premise that forecast quality bounds
+// recommendation quality.
+func RunHorizonSweep(sc *Scenario, cfg RunConfig, horizons []time.Duration) ([]Measurement, error) {
+	cfg = cfg.withDefaults()
+	if len(sc.Trips) == 0 {
+		return nil, fmt.Errorf("experiment: scenario %s has no trips", sc.Name)
+	}
+	if len(horizons) == 0 {
+		horizons = []time.Duration{0, 2 * time.Hour, 6 * time.Hour, 24 * time.Hour}
+	}
+	engine := cknn.Engine{Env: sc.Env}
+
+	var out []Measurement
+	for _, h := range horizons {
+		scPct := make([]float64, 0, cfg.Repetitions)
+		ft := make([]float64, 0, cfg.Repetitions)
+		queries := 0
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			rng := rand.New(rand.NewSource(sc.Seed*1000 + int64(rep)))
+			trips := sampleTrips(rng, sc.Trips, cfg.TripsPerRep)
+			method := cknn.NewEcoCharge(sc.Env, cknn.EcoChargeOptions{
+				RadiusM: cfg.RadiusM, ReuseDistM: cfg.ReuseDistM,
+			})
+			oracle := cknn.NewBruteForce(sc.Env)
+			var truthSum, denom float64
+			var ftMS []float64
+			for _, trip := range trips {
+				method.Reset()
+				segs := trajectory.SegmentTrip(sc.Graph, trip, cfg.SegmentLenM)
+				for _, seg := range segs {
+					q := cknn.QueryForSegment(trip, seg, cknn.TripOptions{
+						K: cfg.K, SegmentLenM: cfg.SegmentLenM, RadiusM: cfg.RadiusM, Weights: cfg.Weights,
+					})
+					// EcoCharge plans with forecasts issued h before
+					// departure (wider intervals); the oracle plans with
+					// fresh forecasts. The gap is the price of planning
+					// ahead.
+					qOld := q
+					qOld.Now = trip.Depart.Add(-h)
+					start := time.Now()
+					table := method.Rank(qOld)
+					ftMS = append(ftMS, float64(time.Since(start))/float64(time.Millisecond))
+					queries++
+					tm := engine.TruthMaps(q)
+					for _, e := range table.Entries {
+						if v, ok := engine.TruthSC(q, tm, e.Charger); ok {
+							truthSum += v
+						}
+					}
+					for _, e := range oracle.Rank(q).Entries {
+						if v, ok := engine.TruthSC(q, tm, e.Charger); ok {
+							denom += v
+						}
+					}
+				}
+			}
+			if denom > 0 {
+				scPct = append(scPct, truthSum/denom*100)
+			}
+			ft = append(ft, stats.Mean(ftMS))
+		}
+		out = append(out, Measurement{
+			Dataset:   sc.Name,
+			Method:    "EcoCharge",
+			Config:    fmt.Sprintf("horizon=%s", h),
+			SCPercent: stats.Summarize(scPct),
+			FtMillis:  stats.Summarize(ft),
+			Queries:   queries,
+		})
+	}
+	return out, nil
+}

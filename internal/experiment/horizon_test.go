@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunHorizonSweep(t *testing.T) {
+	sc := tinyScenario(t)
+	cfg := RunConfig{Repetitions: 2, TripsPerRep: 3, SegmentLenM: 4000}
+	ms, err := RunHorizonSweep(sc, cfg, []time.Duration{0, 24 * time.Hour})
+	if err != nil {
+		t.Fatalf("RunHorizonSweep: %v", err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	fresh, stale := ms[0], ms[1]
+	if fresh.Config != "horizon=0s" || stale.Config != "horizon=24h0m0s" {
+		t.Fatalf("configs: %q, %q", fresh.Config, stale.Config)
+	}
+	if fresh.Queries == 0 || stale.Queries == 0 {
+		t.Fatal("no queries measured")
+	}
+	// Planning a day ahead must not beat planning with fresh forecasts
+	// (tolerance for sampling noise).
+	if stale.SCPercent.Mean > fresh.SCPercent.Mean+1.5 {
+		t.Errorf("stale forecasts scored higher: %.1f vs %.1f",
+			stale.SCPercent.Mean, fresh.SCPercent.Mean)
+	}
+	if fresh.SCPercent.Mean < 80 {
+		t.Errorf("fresh-forecast SC %.1f implausibly low", fresh.SCPercent.Mean)
+	}
+}
+
+func TestRunHorizonSweepEmptyTrips(t *testing.T) {
+	sc := tinyScenario(t)
+	empty := *sc
+	empty.Trips = nil
+	if _, err := RunHorizonSweep(&empty, RunConfig{}, nil); err == nil {
+		t.Fatal("empty trips accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+)
+
+// RunChargerScalability sweeps the inventory size |B| on one dataset
+// profile and measures EcoCharge and BruteForce: the supplementary
+// experiment behind the paper's O(n) vs O(log n) discussion. Each point
+// rebuilds the charger set (same placement seed) on the scenario's graph.
+func RunChargerScalability(sc *Scenario, cfg RunConfig, counts []int) ([]Measurement, error) {
+	if len(counts) == 0 {
+		counts = []int{250, 500, 1000, 2000}
+	}
+	var out []Measurement
+	for _, n := range counts {
+		set, err := charger.Generate(sc.Graph, sc.Env.Avail, charger.GenConfig{N: n, Seed: sc.Seed + 2})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %d chargers: %w", n, err)
+		}
+		env, err := cknn.NewEnv(sc.Graph, set, sc.Env.Solar, sc.Env.Avail, sc.Env.Traffic,
+			cknn.EnvConfig{RadiusM: cfg.withDefaults().RadiusM, Wind: sc.Env.Wind})
+		if err != nil {
+			return nil, err
+		}
+		scaled := *sc
+		scaled.Env = env
+		ms, err := runSeries(&scaled, cfg, allMethodFactories(), fmt.Sprintf("|B|=%d", n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// RunKSweep sweeps the Offering Table size k on one scenario for EcoCharge
+// (with BruteForce as the SC% denominator at the same k).
+func RunKSweep(sc *Scenario, cfg RunConfig, ks []int) ([]Measurement, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 3, 5, 10}
+	}
+	var out []Measurement
+	for _, k := range ks {
+		c := cfg
+		c.K = k
+		ms, err := runSeries(sc, c, ecoOnlyFactory(), fmt.Sprintf("k=%d", k))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			if m.Method == "EcoCharge" {
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteMeasurementsCSV exports measurements for external plotting.
+func WriteMeasurementsCSV(w io.Writer, ms []Measurement) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"dataset", "method", "config",
+		"sc_mean", "sc_stddev", "ft_ms_mean", "ft_ms_stddev",
+		"queries", "cache_hits", "cache_misses",
+		"share_l", "share_a", "share_d",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for _, m := range ms {
+		rec := []string{
+			m.Dataset, m.Method, m.Config,
+			f(m.SCPercent.Mean), f(m.SCPercent.StdDev),
+			f(m.FtMillis.Mean), f(m.FtMillis.StdDev),
+			strconv.Itoa(m.Queries), strconv.Itoa(m.CacheHits), strconv.Itoa(m.CacheMiss),
+			f(m.Shares.L), f(m.Shares.A), f(m.Shares.D),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunChargerScalability(t *testing.T) {
+	sc := tinyScenario(t)
+	cfg := RunConfig{Repetitions: 1, TripsPerRep: 2, SegmentLenM: 4000}
+	ms, err := RunChargerScalability(sc, cfg, []int{100, 400})
+	if err != nil {
+		t.Fatalf("RunChargerScalability: %v", err)
+	}
+	if len(ms) != 8 { // 2 counts × 4 methods
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	// Brute-force cost must grow with the inventory.
+	var bfSmall, bfLarge float64
+	for _, m := range ms {
+		if m.Method == "BruteForce" {
+			switch m.Config {
+			case "|B|=100":
+				bfSmall = m.FtMillis.Mean
+			case "|B|=400":
+				bfLarge = m.FtMillis.Mean
+			}
+		}
+	}
+	if bfLarge <= bfSmall {
+		t.Errorf("brute force did not slow down with |B|: %.3f vs %.3f ms", bfSmall, bfLarge)
+	}
+}
+
+func TestRunKSweep(t *testing.T) {
+	sc := tinyScenario(t)
+	cfg := RunConfig{Repetitions: 1, TripsPerRep: 2, SegmentLenM: 4000}
+	ms, err := RunKSweep(sc, cfg, []int{1, 5})
+	if err != nil {
+		t.Fatalf("RunKSweep: %v", err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	for _, m := range ms {
+		if m.Method != "EcoCharge" {
+			t.Errorf("unexpected method %s", m.Method)
+		}
+		if m.SCPercent.Mean <= 0 {
+			t.Errorf("%s: zero SC", m.Config)
+		}
+	}
+}
+
+func TestWriteMeasurementsCSV(t *testing.T) {
+	ms := []Measurement{{
+		Dataset: "Oldenburg", Method: "EcoCharge", Config: "R=50km",
+		Queries: 10, CacheHits: 7, CacheMiss: 3,
+	}}
+	var buf bytes.Buffer
+	if err := WriteMeasurementsCSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dataset,method,config") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "Oldenburg,EcoCharge,R=50km") {
+		t.Errorf("missing row:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2 {
+		t.Errorf("got %d lines", lines)
+	}
+}

@@ -1,0 +1,142 @@
+package geo
+
+import "math"
+
+// BBox is an axis-aligned bounding box in degrees. Min is the south-west
+// corner, Max the north-east corner. Boxes never cross the antimeridian;
+// the datasets in this work (Germany, California, Beijing) do not either.
+type BBox struct {
+	Min, Max Point
+}
+
+// NewBBox returns the bounding box of the given points. It panics on an
+// empty argument list because a box of nothing has no meaningful value.
+func NewBBox(pts ...Point) BBox {
+	if len(pts) == 0 {
+		panic("geo: NewBBox of no points")
+	}
+	b := BBox{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// Extend returns the smallest box containing b and p.
+func (b BBox) Extend(p Point) BBox {
+	if p.Lat < b.Min.Lat {
+		b.Min.Lat = p.Lat
+	}
+	if p.Lon < b.Min.Lon {
+		b.Min.Lon = p.Lon
+	}
+	if p.Lat > b.Max.Lat {
+		b.Max.Lat = p.Lat
+	}
+	if p.Lon > b.Max.Lon {
+		b.Max.Lon = p.Lon
+	}
+	return b
+}
+
+// Union returns the smallest box containing both boxes.
+func (b BBox) Union(o BBox) BBox {
+	return b.Extend(o.Min).Extend(o.Max)
+}
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.Min.Lat && p.Lat <= b.Max.Lat &&
+		p.Lon >= b.Min.Lon && p.Lon <= b.Max.Lon
+}
+
+// Intersects reports whether the two boxes overlap (inclusive).
+func (b BBox) Intersects(o BBox) bool {
+	return b.Min.Lat <= o.Max.Lat && b.Max.Lat >= o.Min.Lat &&
+		b.Min.Lon <= o.Max.Lon && b.Max.Lon >= o.Min.Lon
+}
+
+// Center returns the box center.
+func (b BBox) Center() Point {
+	return Point{Lat: (b.Min.Lat + b.Max.Lat) / 2, Lon: (b.Min.Lon + b.Max.Lon) / 2}
+}
+
+// Buffer returns the box grown by approximately dist meters on every side.
+func (b BBox) Buffer(dist float64) BBox {
+	dLat := dist / EarthRadius * 180 / math.Pi
+	lat := b.Center().Lat * math.Pi / 180
+	cos := math.Cos(lat)
+	if cos < 1e-9 {
+		cos = 1e-9
+	}
+	dLon := dLat / cos
+	return BBox{
+		Min: Point{Lat: b.Min.Lat - dLat, Lon: b.Min.Lon - dLon},
+		Max: Point{Lat: b.Max.Lat + dLat, Lon: b.Max.Lon + dLon},
+	}
+}
+
+// DistanceTo returns the planar-approximation distance in meters from p to
+// the closest point of the box; zero when p is inside.
+func (b BBox) DistanceTo(p Point) float64 {
+	q := p
+	if q.Lat < b.Min.Lat {
+		q.Lat = b.Min.Lat
+	} else if q.Lat > b.Max.Lat {
+		q.Lat = b.Max.Lat
+	}
+	if q.Lon < b.Min.Lon {
+		q.Lon = b.Min.Lon
+	} else if q.Lon > b.Max.Lon {
+		q.Lon = b.Max.Lon
+	}
+	return Distance(p, q)
+}
+
+// WidthMeters and HeightMeters report the approximate physical extent of the box.
+func (b BBox) WidthMeters() float64 {
+	return Distance(Point{Lat: b.Center().Lat, Lon: b.Min.Lon}, Point{Lat: b.Center().Lat, Lon: b.Max.Lon})
+}
+
+// HeightMeters reports the approximate north-south extent of the box.
+func (b BBox) HeightMeters() float64 {
+	return Distance(Point{Lat: b.Min.Lat, Lon: b.Center().Lon}, Point{Lat: b.Max.Lat, Lon: b.Center().Lon})
+}
+
+// PointSegmentDistance returns the distance in meters from p to the segment
+// ab, plus the fraction t in [0,1] of the projection along ab. It works in
+// a local planar frame centered between a and b, which is accurate for the
+// few-kilometer segments that trips are split into.
+func PointSegmentDistance(p, a, b Point) (dist, t float64) {
+	// Local planar coordinates (meters), equirectangular around a.
+	latRef := a.Lat * math.Pi / 180
+	cos := math.Cos(latRef)
+	ax, ay := 0.0, 0.0
+	bx := (b.Lon - a.Lon) * math.Pi / 180 * cos * EarthRadius
+	by := (b.Lat - a.Lat) * math.Pi / 180 * EarthRadius
+	px := (p.Lon - a.Lon) * math.Pi / 180 * cos * EarthRadius
+	py := (p.Lat - a.Lat) * math.Pi / 180 * EarthRadius
+
+	dx, dy := bx-ax, by-ay
+	segLen2 := dx*dx + dy*dy
+	if segLen2 == 0 {
+		return math.Hypot(px-ax, py-ay), 0
+	}
+	t = ((px-ax)*dx + (py-ay)*dy) / segLen2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	cx, cy := ax+t*dx, ay+t*dy
+	return math.Hypot(px-cx, py-cy), t
+}
+
+// PolylineLength returns the summed segment lengths of the polyline in meters.
+func PolylineLength(pts []Point) float64 {
+	var total float64
+	for i := 1; i < len(pts); i++ {
+		total += Distance(pts[i-1], pts[i])
+	}
+	return total
+}

@@ -1,0 +1,86 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDestinationCrossesAntimeridian(t *testing.T) {
+	// 200 km due east from just west of the date line lands just east of
+	// it, with longitude normalized into [-180, 180].
+	p := Point{Lat: 0, Lon: 179.5}
+	q := Destination(p, 90, 200000)
+	if q.Lon > -178 || q.Lon < -180 {
+		t.Fatalf("crossed longitude = %v, want ≈ -178.7", q.Lon)
+	}
+	if !q.Valid() {
+		t.Fatalf("invalid point after crossing: %v", q)
+	}
+}
+
+func TestDestinationNearPole(t *testing.T) {
+	p := Point{Lat: 89.5, Lon: 0}
+	q := Destination(p, 0, 100000) // 100 km north crosses the pole region
+	if !q.Valid() {
+		t.Fatalf("invalid point near pole: %v", q)
+	}
+	if math.Abs(Haversine(p, q)-100000) > 1000 {
+		t.Fatalf("distance %v, want ~100km", Haversine(p, q))
+	}
+}
+
+func TestBearingSamePoint(t *testing.T) {
+	p := Point{Lat: 53.1, Lon: 8.2}
+	b := Bearing(p, p)
+	if math.IsNaN(b) || b < 0 || b >= 360 {
+		t.Fatalf("self bearing = %v", b)
+	}
+}
+
+func TestMidpointAntipodalStable(t *testing.T) {
+	// Nearly antipodal points: the midpoint must still be a valid point.
+	a := Point{Lat: 10, Lon: 0}
+	b := Point{Lat: -10, Lon: 179.9}
+	m := Midpoint(a, b)
+	if !m.Valid() {
+		t.Fatalf("invalid midpoint: %v", m)
+	}
+}
+
+func TestHaversineAntipodal(t *testing.T) {
+	a := Point{Lat: 0, Lon: 0}
+	b := Point{Lat: 0, Lon: 180}
+	d := Haversine(a, b)
+	half := math.Pi * EarthRadius
+	if math.Abs(d-half) > 1000 {
+		t.Fatalf("antipodal distance %v, want %v", d, half)
+	}
+}
+
+func TestBBoxBufferNearPole(t *testing.T) {
+	b := NewBBox(Point{Lat: 89.0, Lon: 10}, Point{Lat: 89.5, Lon: 20})
+	g := b.Buffer(10000)
+	if !g.Contains(b.Min) || !g.Contains(b.Max) {
+		t.Fatal("buffered polar box lost the original")
+	}
+	// The longitude padding must be finite despite cos(lat) → 0.
+	if math.IsInf(g.Min.Lon, 0) || math.IsNaN(g.Min.Lon) {
+		t.Fatalf("polar buffer degenerate: %v", g)
+	}
+}
+
+func TestSimplifyPreservesClosedLoop(t *testing.T) {
+	// A square loop: all four corners survive any reasonable tolerance.
+	var pts []Point
+	corners := []Point{{53.0, 8.0}, {53.0, 8.05}, {53.03, 8.05}, {53.03, 8.0}, {53.0, 8.0}}
+	for i := 1; i < len(corners); i++ {
+		for f := 0.0; f < 1.0; f += 0.1 {
+			pts = append(pts, Interpolate(corners[i-1], corners[i], f))
+		}
+	}
+	pts = append(pts, corners[len(corners)-1])
+	out := Simplify(pts, 50)
+	if len(out) < 4 {
+		t.Fatalf("loop collapsed to %d points", len(out))
+	}
+}

@@ -1,0 +1,47 @@
+package geo
+
+// Simplify reduces a polyline with the Douglas-Peucker algorithm: points
+// farther than toleranceM meters from the simplified line are kept. The
+// Geolife profile samples every 1–5 seconds, producing far more points
+// than the CkNN evaluation needs; simplification keeps the geometry within
+// a bounded error. The first and last points are always retained.
+func Simplify(pts []Point, toleranceM float64) []Point {
+	if len(pts) <= 2 || toleranceM <= 0 {
+		out := make([]Point, len(pts))
+		copy(out, pts)
+		return out
+	}
+	keep := make([]bool, len(pts))
+	keep[0], keep[len(pts)-1] = true, true
+	simplifyRange(pts, 0, len(pts)-1, toleranceM, keep)
+	out := make([]Point, 0, len(pts))
+	for i, k := range keep {
+		if k {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}
+
+// simplifyRange marks the points to keep between the fixed endpoints lo
+// and hi (exclusive interior), recursing on the farthest outlier.
+func simplifyRange(pts []Point, lo, hi int, tol float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	maxDist := -1.0
+	maxIdx := -1
+	for i := lo + 1; i < hi; i++ {
+		d, _ := PointSegmentDistance(pts[i], pts[lo], pts[hi])
+		if d > maxDist {
+			maxDist = d
+			maxIdx = i
+		}
+	}
+	if maxDist <= tol {
+		return
+	}
+	keep[maxIdx] = true
+	simplifyRange(pts, lo, maxIdx, tol, keep)
+	simplifyRange(pts, maxIdx, hi, tol, keep)
+}

@@ -1,0 +1,95 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyStraightLineCollapses(t *testing.T) {
+	// 50 collinear points reduce to the endpoints.
+	pts := make([]Point, 50)
+	for i := range pts {
+		pts[i] = Point{Lat: 53.0, Lon: 8.0 + float64(i)*0.001}
+	}
+	out := Simplify(pts, 10)
+	if len(out) != 2 {
+		t.Fatalf("straight line simplified to %d points", len(out))
+	}
+	if out[0] != pts[0] || out[1] != pts[len(pts)-1] {
+		t.Fatal("endpoints not preserved")
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	// An L-shaped path must keep the corner.
+	var pts []Point
+	for i := 0; i <= 20; i++ {
+		pts = append(pts, Point{Lat: 53.0, Lon: 8.0 + float64(i)*0.001})
+	}
+	for i := 1; i <= 20; i++ {
+		pts = append(pts, Point{Lat: 53.0 + float64(i)*0.001, Lon: 8.02})
+	}
+	out := Simplify(pts, 20)
+	if len(out) != 3 {
+		t.Fatalf("L-shape simplified to %d points, want 3", len(out))
+	}
+	corner := Point{Lat: 53.0, Lon: 8.02}
+	if Distance(out[1], corner) > 30 {
+		t.Errorf("corner lost: middle point %v", out[1])
+	}
+}
+
+func TestSimplifyErrorBound(t *testing.T) {
+	// Every original point stays within tolerance of the simplified line.
+	r := rand.New(rand.NewSource(7))
+	pts := make([]Point, 200)
+	lat, lon := 53.0, 8.0
+	for i := range pts {
+		lat += (r.Float64() - 0.45) * 0.0005
+		lon += r.Float64() * 0.0008
+		pts[i] = Point{Lat: lat, Lon: lon}
+	}
+	const tol = 50.0
+	out := Simplify(pts, tol)
+	if len(out) >= len(pts) {
+		t.Fatalf("no reduction: %d -> %d", len(pts), len(out))
+	}
+	// Check the guarantee against each simplified segment.
+	for _, p := range pts {
+		best := 1e18
+		for i := 1; i < len(out); i++ {
+			d, _ := PointSegmentDistance(p, out[i-1], out[i])
+			if d < best {
+				best = d
+			}
+		}
+		if best > tol+1 {
+			t.Fatalf("point %v is %.1f m from the simplified line (tol %v)", p, best, tol)
+		}
+	}
+}
+
+func TestSimplifyDegenerate(t *testing.T) {
+	if got := Simplify(nil, 10); len(got) != 0 {
+		t.Errorf("nil input: %v", got)
+	}
+	one := []Point{{Lat: 53, Lon: 8}}
+	if got := Simplify(one, 10); len(got) != 1 {
+		t.Errorf("single point: %v", got)
+	}
+	two := []Point{{Lat: 53, Lon: 8}, {Lat: 53.1, Lon: 8.1}}
+	if got := Simplify(two, 10); len(got) != 2 {
+		t.Errorf("two points: %v", got)
+	}
+	// Zero tolerance keeps everything.
+	three := []Point{{Lat: 53, Lon: 8}, {Lat: 53.1, Lon: 8.2}, {Lat: 53.2, Lon: 8.1}}
+	if got := Simplify(three, 0); len(got) != 3 {
+		t.Errorf("zero tolerance dropped points: %v", got)
+	}
+	// Simplify must not alias its input.
+	out := Simplify(three, 1000)
+	out[0].Lat = -1
+	if three[0].Lat == -1 {
+		t.Error("Simplify aliased its input slice")
+	}
+}

@@ -1,0 +1,186 @@
+// Package render draws scenarios as standalone SVG maps: the road network,
+// a scheduled trip, the recommended chargers and the split points. It is
+// the presentation-layer substitute for the paper's Folium/Leaflet mobile
+// GUI (§IV.B) — everything the figures of the paper show on a map, as a
+// file any browser opens, with no dependencies.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+)
+
+// Options tune the SVG output.
+type Options struct {
+	// WidthPx of the output image; height follows the region's aspect
+	// ratio. 0 selects 1000.
+	WidthPx float64
+	// MaxEdges caps how many road edges are drawn (huge graphs clutter).
+	// 0 draws all.
+	MaxEdges int
+	// ShowChargers draws the full inventory as faint dots.
+	ShowChargers bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.WidthPx <= 0 {
+		o.WidthPx = 1000
+	}
+	return o
+}
+
+// Map accumulates layers and writes the SVG.
+type Map struct {
+	opts   Options
+	bounds geo.BBox
+	body   []string
+	legend []string
+}
+
+// NewMap creates a map over the region.
+func NewMap(bounds geo.BBox, opts Options) *Map {
+	return &Map{opts: opts.withDefaults(), bounds: bounds}
+}
+
+// project maps a point to SVG coordinates (y grows downward).
+func (m *Map) project(p geo.Point) (x, y float64) {
+	w := m.opts.WidthPx
+	h := m.height()
+	dLon := m.bounds.Max.Lon - m.bounds.Min.Lon
+	dLat := m.bounds.Max.Lat - m.bounds.Min.Lat
+	if dLon <= 0 || dLat <= 0 {
+		return w / 2, h / 2
+	}
+	x = (p.Lon - m.bounds.Min.Lon) / dLon * w
+	y = (m.bounds.Max.Lat - p.Lat) / dLat * h
+	return x, y
+}
+
+func (m *Map) height() float64 {
+	dLon := m.bounds.Max.Lon - m.bounds.Min.Lon
+	dLat := m.bounds.Max.Lat - m.bounds.Min.Lat
+	if dLon <= 0 || dLat <= 0 {
+		return m.opts.WidthPx * 0.75
+	}
+	// Correct the aspect ratio for latitude compression.
+	lat := m.bounds.Center().Lat * math.Pi / 180
+	return m.opts.WidthPx * (dLat / dLon) / math.Max(math.Cos(lat), 0.2)
+}
+
+// AddRoadNetwork draws the graph's edges as light gray lines.
+func (m *Map) AddRoadNetwork(g *roadnet.Graph) {
+	edges := g.Edges()
+	step := 1
+	if m.opts.MaxEdges > 0 && len(edges) > m.opts.MaxEdges {
+		step = (len(edges) + m.opts.MaxEdges - 1) / m.opts.MaxEdges
+	}
+	for i := 0; i < len(edges); i += step {
+		e := edges[i]
+		x1, y1 := m.project(g.Node(e.From).P)
+		x2, y2 := m.project(g.Node(e.To).P)
+		width := 0.5
+		if e.Class >= roadnet.ClassHighway {
+			width = 1.2
+		}
+		m.body = append(m.body, fmt.Sprintf(
+			`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#c9c9c9" stroke-width="%.1f"/>`,
+			x1, y1, x2, y2, width))
+	}
+	m.addLegend("#c9c9c9", "road network")
+}
+
+// AddChargers draws the inventory as dots sized by renewable capacity.
+func (m *Map) AddChargers(set *charger.Set) {
+	for _, c := range set.All() {
+		x, y := m.project(c.P)
+		r := 1.5 + math.Sqrt(c.RESKW())/4
+		m.body = append(m.body, fmt.Sprintf(
+			`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#7fb069" fill-opacity="0.45"/>`,
+			x, y, r))
+	}
+	m.addLegend("#7fb069", "chargers (radius ~ renewable capacity)")
+}
+
+// AddTrip draws the scheduled trip as a bold blue polyline with start and
+// end markers.
+func (m *Map) AddTrip(g *roadnet.Graph, path roadnet.Path) {
+	if len(path.Nodes) == 0 {
+		return
+	}
+	points := ""
+	for _, n := range path.Nodes {
+		x, y := m.project(g.Node(n).P)
+		points += fmt.Sprintf("%.1f,%.1f ", x, y)
+	}
+	m.body = append(m.body, fmt.Sprintf(
+		`<polyline points="%s" fill="none" stroke="#2b6cb0" stroke-width="2.5"/>`, points))
+	sx, sy := m.project(g.Node(path.Nodes[0]).P)
+	ex, ey := m.project(g.Node(path.Nodes[len(path.Nodes)-1]).P)
+	m.body = append(m.body,
+		fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="5" fill="#2b6cb0"/>`, sx, sy),
+		fmt.Sprintf(`<rect x="%.1f" y="%.1f" width="9" height="9" fill="#2b6cb0"/>`, ex-4.5, ey-4.5))
+	m.addLegend("#2b6cb0", "scheduled trip")
+}
+
+// AddOfferingTable highlights the table's chargers, rank 1 largest.
+func (m *Map) AddOfferingTable(table cknn.OfferingTable) {
+	for rank, e := range table.Entries {
+		x, y := m.project(e.Charger.P)
+		r := 9.0 - 1.5*float64(rank)
+		if r < 4 {
+			r = 4
+		}
+		m.body = append(m.body, fmt.Sprintf(
+			`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#dd6b20" stroke="#7b341e" stroke-width="1.2"/>`,
+			x, y, r))
+		m.body = append(m.body, fmt.Sprintf(
+			`<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" fill="#fff">%d</text>`,
+			x, y+3.5, rank+1))
+	}
+	m.addLegend("#dd6b20", "offering table (numbered by rank)")
+}
+
+// AddSplitPoints marks the CkNN split positions.
+func (m *Map) AddSplitPoints(points []cknn.SplitPoint) {
+	for _, sp := range points {
+		x, y := m.project(sp.P)
+		m.body = append(m.body, fmt.Sprintf(
+			`<path d="M %.1f %.1f l 5 8 l -10 0 z" fill="#b83280"/>`, x, y-5))
+	}
+	m.addLegend("#b83280", "split points (kNN set changes)")
+}
+
+func (m *Map) addLegend(color, label string) {
+	m.legend = append(m.legend, fmt.Sprintf(`<circle cx="12" cy="%d" r="5" fill="%s"/>
+<text x="24" y="%d" font-size="12" fill="#333">%s</text>`,
+		18+16*len(m.legend)/2, color, 22+16*len(m.legend)/2, label))
+}
+
+// WriteSVG emits the document.
+func (m *Map) WriteSVG(w io.Writer) error {
+	h := m.height()
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">
+<rect width="100%%" height="100%%" fill="#f7f7f2"/>
+`, m.opts.WidthPx, h, m.opts.WidthPx, h); err != nil {
+		return err
+	}
+	for _, el := range m.body {
+		if _, err := fmt.Fprintln(w, el); err != nil {
+			return err
+		}
+	}
+	for _, el := range m.legend {
+		if _, err := fmt.Fprintln(w, el); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

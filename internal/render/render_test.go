@@ -1,0 +1,129 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/ec"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+	"ecocharge/internal/trajectory"
+)
+
+func renderWorld(t testing.TB) (*cknn.Env, trajectory.Trip) {
+	t.Helper()
+	g := roadnet.GenerateUrban(roadnet.UrbanConfig{
+		Origin: geo.Point{Lat: 53.0, Lon: 8.0}, WidthKM: 6, HeightKM: 5,
+		SpacingM: 500, RemoveFrac: 0.05, JitterFrac: 0.2, ArterialEach: 4, Seed: 1,
+	})
+	avail := ec.NewAvailabilityModel(2)
+	set, err := charger.Generate(g, avail, charger.GenConfig{N: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := cknn.NewEnv(g, set, ec.NewSolarModel(4), avail, ec.NewTrafficModel(5), cknn.EnvConfig{RadiusM: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips, err := trajectory.Generate(g, trajectory.GenConfig{
+		N: 1, Seed: 6, MinTripKM: 4, MaxTripKM: 7,
+		Start: time.Date(2024, 6, 18, 10, 0, 0, 0, time.UTC), Window: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, trips[0]
+}
+
+func TestWriteSVGComplete(t *testing.T) {
+	env, trip := renderWorld(t)
+	method := cknn.NewEcoCharge(env, cknn.EcoChargeOptions{RadiusM: 8000})
+	opts := cknn.TripOptions{K: 3, SegmentLenM: 2000, RadiusM: 8000}
+	results := cknn.RunTrip(env, method, trip, opts)
+	sl := cknn.SplitList(env, method, trip, opts)
+
+	m := NewMap(env.Graph.Bounds(), Options{WidthPx: 800, ShowChargers: true})
+	m.AddRoadNetwork(env.Graph)
+	m.AddChargers(env.Chargers)
+	m.AddTrip(env.Graph, trip.Path)
+	m.AddOfferingTable(results[0].Table)
+	m.AddSplitPoints(sl)
+
+	var buf bytes.Buffer
+	if err := m.WriteSVG(&buf); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("document not closed")
+	}
+	for name, want := range map[string]string{
+		"road edges":     "<line",
+		"charger dots":   `fill="#7fb069"`,
+		"trip polyline":  "<polyline",
+		"offering marks": `fill="#dd6b20"`,
+		"split markers":  `fill="#b83280"`,
+		"legend text":    "offering table",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %s (%q)", name, want)
+		}
+	}
+	// All drawn coordinates must be inside the viewBox (no negative pixels).
+	if strings.Contains(svg, `x1="-`) || strings.Contains(svg, `cx="-`) {
+		t.Error("negative coordinates in SVG")
+	}
+	// Ranked markers numbered from 1.
+	if !strings.Contains(svg, ">1</text>") {
+		t.Error("rank labels missing")
+	}
+}
+
+func TestMaxEdgesCap(t *testing.T) {
+	env, _ := renderWorld(t)
+	m := NewMap(env.Graph.Bounds(), Options{WidthPx: 400, MaxEdges: 100})
+	m.AddRoadNetwork(env.Graph)
+	var buf bytes.Buffer
+	if err := m.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "<line")
+	if lines > 110 {
+		t.Errorf("edge cap ignored: %d lines drawn", lines)
+	}
+	if lines == 0 {
+		t.Error("no edges drawn at all")
+	}
+}
+
+func TestDegenerateBounds(t *testing.T) {
+	p := geo.Point{Lat: 53, Lon: 8}
+	m := NewMap(geo.BBox{Min: p, Max: p}, Options{})
+	var buf bytes.Buffer
+	if err := m.WriteSVG(&buf); err != nil {
+		t.Fatalf("degenerate bounds: %v", err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("no document emitted")
+	}
+}
+
+func TestEmptyTripIgnored(t *testing.T) {
+	env, _ := renderWorld(t)
+	m := NewMap(env.Graph.Bounds(), Options{})
+	m.AddTrip(env.Graph, roadnet.Path{})
+	var buf bytes.Buffer
+	if err := m.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<polyline") {
+		t.Error("empty trip drew a polyline")
+	}
+}

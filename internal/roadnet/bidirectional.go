@@ -1,0 +1,125 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+)
+
+// BidirectionalShortestPath runs Dijkstra simultaneously from src (forward)
+// and dst (backward on the reverse graph), terminating when the frontiers
+// guarantee the best meeting point is settled. For point-to-point detour
+// costing it explores roughly half the nodes plain Dijkstra would.
+// Results are identical to ShortestPath.
+func (g *Graph) BidirectionalShortestPath(src, dst NodeID, w WeightFunc) (Path, bool) {
+	g.mustFrozen()
+	if !g.validID(src) || !g.validID(dst) {
+		return Path{}, false
+	}
+	if src == dst {
+		return Path{Nodes: []NodeID{src}, Weight: 0}, true
+	}
+
+	distF := map[NodeID]float64{src: 0}
+	distB := map[NodeID]float64{dst: 0}
+	prevF := make(map[NodeID]NodeID)
+	prevB := make(map[NodeID]NodeID)
+	doneF := make(map[NodeID]bool)
+	doneB := make(map[NodeID]bool)
+	pqF := &spHeap{{node: src, prio: 0}}
+	pqB := &spHeap{{node: dst, prio: 0}}
+
+	best := math.Inf(1)
+	var meet NodeID = Invalid
+
+	relaxF := func(cur NodeID) {
+		for _, ei := range g.adj[cur] {
+			e := g.edges[ei]
+			wt := w(e)
+			if wt < 0 {
+				panic("roadnet: negative edge weight")
+			}
+			nd := distF[cur] + wt
+			if old, ok := distF[e.To]; !ok || nd < old {
+				distF[e.To] = nd
+				prevF[e.To] = cur
+				heap.Push(pqF, spItem{node: e.To, prio: nd})
+			}
+			if db, ok := distB[e.To]; ok {
+				if total := nd + db; total < best {
+					best = total
+					meet = e.To
+				}
+			}
+		}
+	}
+	relaxB := func(cur NodeID) {
+		for _, ei := range g.radj[cur] {
+			e := g.edges[ei]
+			wt := w(e)
+			if wt < 0 {
+				panic("roadnet: negative edge weight")
+			}
+			nd := distB[cur] + wt
+			if old, ok := distB[e.From]; !ok || nd < old {
+				distB[e.From] = nd
+				prevB[e.From] = cur
+				heap.Push(pqB, spItem{node: e.From, prio: nd})
+			}
+			if df, ok := distF[e.From]; ok {
+				if total := df + nd; total < best {
+					best = total
+					meet = e.From
+				}
+			}
+		}
+	}
+
+	for pqF.Len() > 0 || pqB.Len() > 0 {
+		topF, topB := math.Inf(1), math.Inf(1)
+		if pqF.Len() > 0 {
+			topF = (*pqF)[0].prio
+		}
+		if pqB.Len() > 0 {
+			topB = (*pqB)[0].prio
+		}
+		// Standard stopping criterion: once the sum of the two frontiers'
+		// minima reaches the best known meeting cost, no better path exists.
+		if topF+topB >= best {
+			break
+		}
+		if topF <= topB {
+			cur := heap.Pop(pqF).(spItem)
+			if doneF[cur.node] {
+				continue
+			}
+			doneF[cur.node] = true
+			relaxF(cur.node)
+		} else {
+			cur := heap.Pop(pqB).(spItem)
+			if doneB[cur.node] {
+				continue
+			}
+			doneB[cur.node] = true
+			relaxB(cur.node)
+		}
+	}
+	if meet == Invalid {
+		return Path{}, false
+	}
+
+	// Stitch: src→meet from the forward tree, meet→dst from the backward.
+	forward := reconstruct(prevF, src, meet)
+	if forward == nil {
+		return Path{}, false
+	}
+	nodes := forward
+	for at := meet; at != dst; {
+		next, ok := prevB[at]
+		if !ok {
+			return Path{}, false
+		}
+		nodes = append(nodes, next)
+		at = next
+	}
+	return Path{Nodes: nodes, Weight: best}, true
+}

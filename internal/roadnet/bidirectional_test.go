@@ -1,0 +1,115 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecocharge/internal/geo"
+)
+
+func TestBidirectionalMatchesDijkstra(t *testing.T) {
+	g := GenerateUrban(UrbanConfig{
+		Origin: geo.Point{Lat: 53.0, Lon: 8.0}, WidthKM: 8, HeightKM: 6,
+		SpacingM: 500, RemoveFrac: 0.1, JitterFrac: 0.25, ArterialEach: 4, Seed: 13,
+	})
+	r := rand.New(rand.NewSource(14))
+	for _, wf := range []struct {
+		name string
+		w    WeightFunc
+	}{{"distance", DistanceWeight}, {"time", TimeWeight}, {"energy", EnergyWeight}} {
+		for trial := 0; trial < 30; trial++ {
+			src := NodeID(r.Intn(g.NumNodes()))
+			dst := NodeID(r.Intn(g.NumNodes()))
+			uni, ok1 := g.ShortestPath(src, dst, wf.w)
+			bi, ok2 := g.BidirectionalShortestPath(src, dst, wf.w)
+			if ok1 != ok2 {
+				t.Fatalf("%s %d->%d: reachability disagrees", wf.name, src, dst)
+			}
+			if !ok1 {
+				continue
+			}
+			if math.Abs(uni.Weight-bi.Weight) > 1e-6 {
+				t.Fatalf("%s %d->%d: weight %v vs %v", wf.name, src, dst, bi.Weight, uni.Weight)
+			}
+			// The returned path must be valid and cost what it claims.
+			if bi.Nodes[0] != src || bi.Nodes[len(bi.Nodes)-1] != dst {
+				t.Fatalf("%s: endpoints wrong: %v", wf.name, bi.Nodes)
+			}
+			var sum float64
+			for i := 1; i < len(bi.Nodes); i++ {
+				found := false
+				g.OutEdges(bi.Nodes[i-1], func(e Edge) {
+					if e.To == bi.Nodes[i] && !found {
+						sum += wf.w(e)
+						found = true
+					}
+				})
+				if !found {
+					t.Fatalf("%s: path hop %d has no edge", wf.name, i)
+				}
+			}
+			if math.Abs(sum-bi.Weight) > 1e-6 {
+				t.Fatalf("%s: path sums to %v, claims %v", wf.name, sum, bi.Weight)
+			}
+		}
+	}
+}
+
+func TestBidirectionalEdgeCases(t *testing.T) {
+	g := tinyGraph()
+	// Self.
+	p, ok := g.BidirectionalShortestPath(2, 2, DistanceWeight)
+	if !ok || p.Weight != 0 || len(p.Nodes) != 1 {
+		t.Fatalf("self path = %+v", p)
+	}
+	// Unreachable (disconnected two-node graph).
+	g2 := NewGraph(2, 0)
+	g2.AddNode(geo.Point{Lat: 53, Lon: 8})
+	g2.AddNode(geo.Point{Lat: 53.1, Lon: 8.1})
+	g2.Freeze()
+	if _, ok := g2.BidirectionalShortestPath(0, 1, DistanceWeight); ok {
+		t.Fatal("path found in disconnected graph")
+	}
+	// Invalid IDs.
+	if _, ok := g.BidirectionalShortestPath(-1, 2, DistanceWeight); ok {
+		t.Fatal("invalid src accepted")
+	}
+}
+
+func TestBidirectionalOneWay(t *testing.T) {
+	g := NewGraph(3, 2)
+	a := g.AddNode(geo.Point{Lat: 53, Lon: 8})
+	b := g.AddNode(geo.Point{Lat: 53, Lon: 8.01})
+	c := g.AddNode(geo.Point{Lat: 53, Lon: 8.02})
+	g.AddEdge(a, b, 100, ClassLocal)
+	g.AddEdge(b, c, 100, ClassLocal)
+	g.Freeze()
+	if p, ok := g.BidirectionalShortestPath(a, c, DistanceWeight); !ok || p.Weight != 200 {
+		t.Fatalf("forward chain: %+v %v", p, ok)
+	}
+	if _, ok := g.BidirectionalShortestPath(c, a, DistanceWeight); ok {
+		t.Fatal("one-way chain traversed backwards")
+	}
+}
+
+func BenchmarkBidirectionalVsUnidirectional(b *testing.B) {
+	g := GenerateUrban(DefaultUrbanConfig())
+	r := rand.New(rand.NewSource(1))
+	pairs := make([][2]NodeID, 64)
+	for i := range pairs {
+		pairs[i] = [2]NodeID{NodeID(r.Intn(g.NumNodes())), NodeID(r.Intn(g.NumNodes()))}
+	}
+	b.Run("unidirectional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%64]
+			g.ShortestPath(p[0], p[1], DistanceWeight)
+		}
+	})
+	b.Run("bidirectional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%64]
+			g.BidirectionalShortestPath(p[0], p[1], DistanceWeight)
+		}
+	})
+}

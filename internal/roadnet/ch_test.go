@@ -1,0 +1,123 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecocharge/internal/geo"
+)
+
+func chGraph(t testing.TB) *Graph {
+	t.Helper()
+	return GenerateUrban(UrbanConfig{
+		Origin: geo.Point{Lat: 53.0, Lon: 8.0}, WidthKM: 5, HeightKM: 4,
+		SpacingM: 500, RemoveFrac: 0.1, JitterFrac: 0.25, ArterialEach: 3, Seed: 17,
+	})
+}
+
+func TestCHMatchesDijkstraExactly(t *testing.T) {
+	g := chGraph(t)
+	ch := BuildCH(g, DistanceWeight)
+	r := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 150; trial++ {
+		src := NodeID(r.Intn(g.NumNodes()))
+		dst := NodeID(r.Intn(g.NumNodes()))
+		want := g.ShortestDistance(src, dst, DistanceWeight)
+		got := ch.Query(src, dst)
+		if math.IsInf(want, 1) != math.IsInf(got, 1) {
+			t.Fatalf("%d->%d: reachability disagrees (dij %v, ch %v)", src, dst, want, got)
+		}
+		if !math.IsInf(want, 1) && math.Abs(want-got) > 1e-6 {
+			t.Fatalf("%d->%d: CH %v vs Dijkstra %v", src, dst, got, want)
+		}
+	}
+}
+
+func TestCHTimeWeight(t *testing.T) {
+	g := chGraph(t)
+	ch := BuildCH(g, TimeWeight)
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 60; trial++ {
+		src := NodeID(r.Intn(g.NumNodes()))
+		dst := NodeID(r.Intn(g.NumNodes()))
+		want := g.ShortestDistance(src, dst, TimeWeight)
+		got := ch.Query(src, dst)
+		if !math.IsInf(want, 1) && math.Abs(want-got) > 1e-6 {
+			t.Fatalf("%d->%d: CH %v vs Dijkstra %v", src, dst, got, want)
+		}
+	}
+}
+
+func TestCHEdgeCases(t *testing.T) {
+	g := chGraph(t)
+	ch := BuildCH(g, DistanceWeight)
+	if got := ch.Query(3, 3); got != 0 {
+		t.Errorf("self query = %v", got)
+	}
+	if got := ch.Query(-1, 3); !math.IsInf(got, 1) {
+		t.Errorf("invalid src = %v", got)
+	}
+	if got := ch.Query(3, NodeID(g.NumNodes())); !math.IsInf(got, 1) {
+		t.Errorf("invalid dst = %v", got)
+	}
+}
+
+func TestCHDisconnected(t *testing.T) {
+	g := NewGraph(4, 2)
+	for i := 0; i < 4; i++ {
+		g.AddNode(geo.Point{Lat: 53 + float64(i)*0.01, Lon: 8})
+	}
+	g.AddBidirectional(0, 1, 100, ClassLocal)
+	g.AddBidirectional(2, 3, 100, ClassLocal)
+	g.Freeze()
+	ch := BuildCH(g, DistanceWeight)
+	if got := ch.Query(0, 1); got != 100 {
+		t.Errorf("connected pair = %v, want 100", got)
+	}
+	if got := ch.Query(0, 3); !math.IsInf(got, 1) {
+		t.Errorf("disconnected pair = %v, want +Inf", got)
+	}
+}
+
+func TestCHOneWay(t *testing.T) {
+	g := NewGraph(3, 2)
+	a := g.AddNode(geo.Point{Lat: 53, Lon: 8})
+	b := g.AddNode(geo.Point{Lat: 53, Lon: 8.01})
+	c := g.AddNode(geo.Point{Lat: 53, Lon: 8.02})
+	g.AddEdge(a, b, 100, ClassLocal)
+	g.AddEdge(b, c, 100, ClassLocal)
+	g.Freeze()
+	ch := BuildCH(g, DistanceWeight)
+	if got := ch.Query(a, c); got != 200 {
+		t.Errorf("forward = %v, want 200", got)
+	}
+	if got := ch.Query(c, a); !math.IsInf(got, 1) {
+		t.Errorf("backward over one-way = %v, want +Inf", got)
+	}
+}
+
+func BenchmarkCHQueryVsDijkstra(b *testing.B) {
+	g := GenerateUrban(UrbanConfig{
+		Origin: geo.Point{Lat: 53.0, Lon: 8.0}, WidthKM: 8, HeightKM: 6,
+		SpacingM: 500, RemoveFrac: 0.08, JitterFrac: 0.2, ArterialEach: 4, Seed: 20,
+	})
+	ch := BuildCH(g, DistanceWeight)
+	r := rand.New(rand.NewSource(21))
+	pairs := make([][2]NodeID, 64)
+	for i := range pairs {
+		pairs[i] = [2]NodeID{NodeID(r.Intn(g.NumNodes())), NodeID(r.Intn(g.NumNodes()))}
+	}
+	b.Run("ch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%64]
+			ch.Query(p[0], p[1])
+		}
+	})
+	b.Run("dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%64]
+			g.ShortestDistance(p[0], p[1], DistanceWeight)
+		}
+	})
+}

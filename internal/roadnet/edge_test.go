@@ -1,0 +1,106 @@
+package roadnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ecocharge/internal/geo"
+)
+
+// ReadCSV must accept CRLF line endings (Windows-exported extracts).
+func TestReadCSVCRLF(t *testing.T) {
+	data := "id,lat,lon\r\n0,53.0,8.0\r\n1,53.1,8.1\r\n\r\nfrom,to,length_m,class\r\n0,1,100.0,0\r\n"
+	g, err := ReadCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("CRLF input rejected: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+// Self-loop edges must not break shortest paths (they are never useful but
+// real extracts contain them).
+func TestSelfLoopEdge(t *testing.T) {
+	g := NewGraph(2, 3)
+	a := g.AddNode(geo.Point{Lat: 53, Lon: 8})
+	b := g.AddNode(geo.Point{Lat: 53, Lon: 8.01})
+	g.AddEdge(a, a, 50, ClassLocal) // self loop
+	g.AddBidirectional(a, b, 700, ClassLocal)
+	g.Freeze()
+	p, ok := g.ShortestPath(a, b, DistanceWeight)
+	if !ok || p.Weight != 700 {
+		t.Fatalf("self loop disturbed routing: %+v %v", p, ok)
+	}
+}
+
+// Parallel edges: the cheaper one wins.
+func TestParallelEdges(t *testing.T) {
+	g := NewGraph(2, 2)
+	a := g.AddNode(geo.Point{Lat: 53, Lon: 8})
+	b := g.AddNode(geo.Point{Lat: 53, Lon: 8.01})
+	g.AddEdge(a, b, 900, ClassLocal)
+	g.AddEdge(a, b, 400, ClassArterial)
+	g.Freeze()
+	if d := g.ShortestDistance(a, b, DistanceWeight); d != 400 {
+		t.Fatalf("parallel edge: %v, want 400", d)
+	}
+	ch := BuildCH(g, DistanceWeight)
+	if d := ch.Query(a, b); d != 400 {
+		t.Fatalf("CH parallel edge: %v, want 400", d)
+	}
+}
+
+// Blocked edges (+Inf weight) are impassable but must not poison other
+// routes.
+func TestBlockedEdgeWeight(t *testing.T) {
+	g := tinyGraph()
+	blocked := func(e Edge) float64 {
+		if e.From == 0 && e.To == 1 {
+			return Blocked
+		}
+		return e.Length
+	}
+	// 0->1 direct is blocked; the detour through 3,4,5,2 still reaches 1.
+	d := g.ShortestDistance(0, 1, blocked)
+	if math.IsInf(d, 1) {
+		t.Fatal("blocked edge disconnected an alternative route")
+	}
+	if d <= 1000 {
+		t.Fatalf("blocked edge ignored: %v", d)
+	}
+}
+
+// A* heuristic scale of 0 degenerates to Dijkstra and stays correct.
+func TestAStarZeroHeuristic(t *testing.T) {
+	g := tinyGraph()
+	p1, ok1 := g.AStar(0, 5, DistanceWeight, 0)
+	p2, ok2 := g.ShortestPath(0, 5, DistanceWeight)
+	if ok1 != ok2 || math.Abs(p1.Weight-p2.Weight) > 1e-9 {
+		t.Fatalf("A* with zero heuristic: %v/%v vs %v/%v", p1.Weight, ok1, p2.Weight, ok2)
+	}
+}
+
+// NodesWithin on an anchored radius of zero returns at most the co-located
+// node.
+func TestNodesWithinZeroRadius(t *testing.T) {
+	g := tinyGraph()
+	got := g.NodesWithin(g.Node(3).P, 0)
+	for _, id := range got {
+		if geo.Distance(g.Node(id).P, g.Node(3).P) > 0 {
+			t.Fatalf("zero radius returned distant node %d", id)
+		}
+	}
+}
+
+// LengthMeters of a single-node path is zero, and of an empty path too.
+func TestLengthMetersDegenerate(t *testing.T) {
+	g := tinyGraph()
+	if l := g.LengthMeters(Path{Nodes: []NodeID{2}}); l != 0 {
+		t.Errorf("single-node length %v", l)
+	}
+	if l := g.LengthMeters(Path{}); l != 0 {
+		t.Errorf("empty length %v", l)
+	}
+}

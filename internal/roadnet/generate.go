@@ -1,0 +1,228 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+
+	"ecocharge/internal/geo"
+)
+
+// UrbanConfig parameterizes the synthetic urban network generator, the
+// stand-in for the Oldenburg road network (45 km × 35 km in the paper).
+type UrbanConfig struct {
+	Origin       geo.Point // south-west corner
+	WidthKM      float64   // east-west extent
+	HeightKM     float64   // north-south extent
+	SpacingM     float64   // target block size in meters
+	RemoveFrac   float64   // fraction of street edges removed (irregularity)
+	JitterFrac   float64   // node position jitter as a fraction of spacing
+	ArterialEach int       // every n-th row/column is an arterial
+	Seed         int64
+}
+
+// DefaultUrbanConfig mirrors Oldenburg's extent at a 500 m block size.
+func DefaultUrbanConfig() UrbanConfig {
+	return UrbanConfig{
+		Origin:       geo.Point{Lat: 53.05, Lon: 8.05},
+		WidthKM:      45,
+		HeightKM:     35,
+		SpacingM:     500,
+		RemoveFrac:   0.08,
+		JitterFrac:   0.25,
+		ArterialEach: 5,
+		Seed:         1,
+	}
+}
+
+// GenerateUrban builds a jittered grid street network with periodic
+// arterials, the essential topology the Brinkhoff generator moves objects
+// over. The graph is frozen and guaranteed strongly connected on its kept
+// edges by construction (edge removal skips edges that would disconnect the
+// boundary lattice rows/columns).
+func GenerateUrban(cfg UrbanConfig) *Graph {
+	if cfg.SpacingM <= 0 {
+		cfg.SpacingM = 500
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cols := int(cfg.WidthKM*1000/cfg.SpacingM) + 1
+	rows := int(cfg.HeightKM*1000/cfg.SpacingM) + 1
+	if cols < 2 {
+		cols = 2
+	}
+	if rows < 2 {
+		rows = 2
+	}
+	g := NewGraph(rows*cols, rows*cols*4)
+
+	metersLat := geo.EarthRadius * math.Pi / 180
+	metersLon := metersLat * math.Cos(cfg.Origin.Lat*math.Pi/180)
+	dLat := cfg.SpacingM / metersLat
+	dLon := cfg.SpacingM / metersLon
+
+	ids := make([]NodeID, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			jLat := (rng.Float64() - 0.5) * cfg.JitterFrac * dLat
+			jLon := (rng.Float64() - 0.5) * cfg.JitterFrac * dLon
+			p := geo.Point{
+				Lat: cfg.Origin.Lat + float64(r)*dLat + jLat,
+				Lon: cfg.Origin.Lon + float64(c)*dLon + jLon,
+			}
+			ids[r*cols+c] = g.AddNode(p)
+		}
+	}
+	class := func(rc int) RoadClass {
+		if cfg.ArterialEach > 0 && rc%cfg.ArterialEach == 0 {
+			return ClassArterial
+		}
+		return ClassLocal
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Horizontal edge to the east neighbor.
+			if c+1 < cols {
+				keep := r == 0 || r == rows-1 || rng.Float64() >= cfg.RemoveFrac
+				if keep {
+					g.AddBidirectional(ids[r*cols+c], ids[r*cols+c+1], 0, class(r))
+				}
+			}
+			// Vertical edge to the north neighbor.
+			if r+1 < rows {
+				keep := c == 0 || c == cols-1 || rng.Float64() >= cfg.RemoveFrac
+				if keep {
+					g.AddBidirectional(ids[r*cols+c], ids[(r+1)*cols+c], 0, class(c))
+				}
+			}
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// HighwayConfig parameterizes the sparse long-range network generator, the
+// stand-in for the California dataset (1,220 km × 400 km): a few corridors
+// of motorway with feeder towns hanging off them.
+type HighwayConfig struct {
+	Origin    geo.Point
+	WidthKM   float64
+	HeightKM  float64
+	Corridors int // count of east-west motorway corridors
+	TownsPer  int // towns per corridor
+	TownNodes int // local nodes per town
+	Seed      int64
+}
+
+// DefaultHighwayConfig mirrors California's aspect ratio at reduced scale.
+func DefaultHighwayConfig() HighwayConfig {
+	return HighwayConfig{
+		Origin:    geo.Point{Lat: 34.0, Lon: -121.0},
+		WidthKM:   400,
+		HeightKM:  130,
+		Corridors: 3,
+		TownsPer:  12,
+		TownNodes: 25,
+		Seed:      2,
+	}
+}
+
+// GenerateHighway builds the corridor/town network and freezes it.
+func GenerateHighway(cfg HighwayConfig) *Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Corridors < 1 {
+		cfg.Corridors = 1
+	}
+	if cfg.TownsPer < 2 {
+		cfg.TownsPer = 2
+	}
+	if cfg.TownNodes < 1 {
+		cfg.TownNodes = 1
+	}
+	g := NewGraph(cfg.Corridors*cfg.TownsPer*(cfg.TownNodes+1), 0)
+
+	metersLat := geo.EarthRadius * math.Pi / 180
+	metersLon := metersLat * math.Cos(cfg.Origin.Lat*math.Pi/180)
+	latSpan := cfg.HeightKM * 1000 / metersLat
+	lonSpan := cfg.WidthKM * 1000 / metersLon
+
+	// Corridor junction nodes per corridor, west to east.
+	junctions := make([][]NodeID, cfg.Corridors)
+	for ci := 0; ci < cfg.Corridors; ci++ {
+		lat := cfg.Origin.Lat + latSpan*(float64(ci)+0.5)/float64(cfg.Corridors)
+		junctions[ci] = make([]NodeID, cfg.TownsPer)
+		for ti := 0; ti < cfg.TownsPer; ti++ {
+			lon := cfg.Origin.Lon + lonSpan*float64(ti)/float64(cfg.TownsPer-1)
+			jLat := lat + (rng.Float64()-0.5)*latSpan*0.05
+			junctions[ci][ti] = g.AddNode(geo.Point{Lat: jLat, Lon: lon})
+		}
+		for ti := 1; ti < cfg.TownsPer; ti++ {
+			g.AddBidirectional(junctions[ci][ti-1], junctions[ci][ti], 0, ClassMotorway)
+		}
+	}
+	// North-south connectors between corridors at a few longitudes.
+	for ci := 1; ci < cfg.Corridors; ci++ {
+		for ti := 0; ti < cfg.TownsPer; ti += 3 {
+			g.AddBidirectional(junctions[ci-1][ti], junctions[ci][ti], 0, ClassHighway)
+		}
+	}
+	// Local town clusters around each junction.
+	for ci := range junctions {
+		for _, j := range junctions[ci] {
+			center := g.Node(j).P
+			prev := j
+			for n := 0; n < cfg.TownNodes; n++ {
+				p := geo.Point{
+					Lat: center.Lat + (rng.Float64()-0.5)*latSpan*0.02,
+					Lon: center.Lon + (rng.Float64()-0.5)*lonSpan*0.008,
+				}
+				id := g.AddNode(p)
+				g.AddBidirectional(prev, id, 0, ClassLocal)
+				if n%4 == 3 { // occasional shortcut back to the junction
+					g.AddBidirectional(j, id, 0, ClassArterial)
+				}
+				prev = id
+			}
+		}
+	}
+	// Ensure corridor 0 junction 0 connects everything: link corridors at
+	// both ends too.
+	for ci := 1; ci < cfg.Corridors; ci++ {
+		last := cfg.TownsPer - 1
+		g.AddBidirectional(junctions[ci-1][last], junctions[ci][last], 0, ClassHighway)
+	}
+	g.Freeze()
+	return g
+}
+
+// ConnectedComponentSize returns the number of nodes reachable from src
+// ignoring edge direction. Generators use it in tests to assert
+// connectivity.
+func (g *Graph) ConnectedComponentSize(src NodeID) int {
+	g.mustFrozen()
+	if !g.validID(src) {
+		return 0
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{src}
+	seen[src] = true
+	count := 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		push := func(e Edge) {
+			var other NodeID
+			if e.From == n {
+				other = e.To
+			} else {
+				other = e.From
+			}
+			if !seen[other] {
+				seen[other] = true
+				stack = append(stack, other)
+			}
+		}
+		g.OutEdges(n, push)
+		g.InEdges(n, push)
+	}
+	return count
+}

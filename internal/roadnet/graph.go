@@ -1,0 +1,286 @@
+// Package roadnet models the directed weighted road network G = (V, E) of
+// the paper's system model (§II.A): nodes carry spatial coordinates, edges
+// carry a travel weight, and shortest paths between locations provide the
+// derouting cost D. The package also ships the synthetic network generators
+// that stand in for the Oldenburg / California road graphs (see DESIGN.md,
+// substitution table).
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"ecocharge/internal/geo"
+	"ecocharge/internal/spatial"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense: 0..NumNodes-1.
+type NodeID int32
+
+// Invalid is the sentinel for "no node".
+const Invalid NodeID = -1
+
+// RoadClass categorizes edges; the traffic model assigns different
+// free-flow speeds and congestion profiles per class.
+type RoadClass uint8
+
+// Road classes, from local streets up to motorways.
+const (
+	ClassLocal RoadClass = iota
+	ClassArterial
+	ClassHighway
+	ClassMotorway
+	numRoadClasses
+)
+
+// String implements fmt.Stringer.
+func (c RoadClass) String() string {
+	switch c {
+	case ClassLocal:
+		return "local"
+	case ClassArterial:
+		return "arterial"
+	case ClassHighway:
+		return "highway"
+	case ClassMotorway:
+		return "motorway"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// FreeFlowSpeed returns the class's nominal speed in m/s.
+func (c RoadClass) FreeFlowSpeed() float64 {
+	switch c {
+	case ClassLocal:
+		return 30.0 / 3.6
+	case ClassArterial:
+		return 50.0 / 3.6
+	case ClassHighway:
+		return 80.0 / 3.6
+	case ClassMotorway:
+		return 110.0 / 3.6
+	}
+	return 50.0 / 3.6
+}
+
+// Node is a road-network vertex.
+type Node struct {
+	ID NodeID
+	P  geo.Point
+}
+
+// Edge is a directed road segment.
+type Edge struct {
+	From, To NodeID
+	Length   float64 // meters
+	Class    RoadClass
+}
+
+// Graph is a directed weighted road network. Build it with AddNode/AddEdge,
+// then call Freeze before querying; Freeze constructs the adjacency arrays
+// and the nearest-node index. The zero value is an empty, unfrozen graph.
+type Graph struct {
+	nodes  []Node
+	edges  []Edge
+	adj    [][]int32 // node -> indexes into edges
+	radj   [][]int32 // reverse adjacency, for return-trip costs
+	index  *spatial.Quadtree
+	frozen bool
+}
+
+// NewGraph returns an empty graph with capacity hints.
+func NewGraph(nodeHint, edgeHint int) *Graph {
+	return &Graph{
+		nodes: make([]Node, 0, nodeHint),
+		edges: make([]Edge, 0, edgeHint),
+	}
+}
+
+// AddNode appends a node at p and returns its ID.
+func (g *Graph) AddNode(p geo.Point) NodeID {
+	if g.frozen {
+		panic("roadnet: AddNode on frozen graph")
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, P: p})
+	return id
+}
+
+// AddEdge appends a directed edge. Length ≤ 0 is replaced by the geodesic
+// distance between endpoints. It panics on unknown node IDs: a malformed
+// graph is a programming error, not a runtime condition.
+func (g *Graph) AddEdge(from, to NodeID, length float64, class RoadClass) {
+	if g.frozen {
+		panic("roadnet: AddEdge on frozen graph")
+	}
+	if !g.validID(from) || !g.validID(to) {
+		panic(fmt.Sprintf("roadnet: AddEdge with invalid node %d -> %d (have %d nodes)", from, to, len(g.nodes)))
+	}
+	if length <= 0 {
+		length = geo.Distance(g.nodes[from].P, g.nodes[to].P)
+	}
+	g.edges = append(g.edges, Edge{From: from, To: to, Length: length, Class: class})
+}
+
+// AddBidirectional adds the edge in both directions.
+func (g *Graph) AddBidirectional(a, b NodeID, length float64, class RoadClass) {
+	g.AddEdge(a, b, length, class)
+	g.AddEdge(b, a, length, class)
+}
+
+func (g *Graph) validID(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// Freeze finalizes the graph: adjacency lists and the spatial index become
+// available, and further mutation panics. Freeze is idempotent.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	g.adj = make([][]int32, len(g.nodes))
+	g.radj = make([][]int32, len(g.nodes))
+	for i, e := range g.edges {
+		g.adj[e.From] = append(g.adj[e.From], int32(i))
+		g.radj[e.To] = append(g.radj[e.To], int32(i))
+	}
+	if len(g.nodes) > 0 {
+		pts := make([]geo.Point, len(g.nodes))
+		for i, n := range g.nodes {
+			pts[i] = n.P
+		}
+		g.index = spatial.NewQuadtree(geo.NewBBox(pts...), 0)
+		for _, n := range g.nodes {
+			g.index.Insert(spatial.Item{P: n.P, ID: int64(n.ID)})
+		}
+	}
+	g.frozen = true
+}
+
+// NumNodes reports |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node {
+	if !g.validID(id) {
+		panic(fmt.Sprintf("roadnet: Node(%d) out of range", id))
+	}
+	return g.nodes[id]
+}
+
+// Edges returns the raw edge slice; callers must not mutate it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// OutEdges calls fn for each edge leaving id.
+func (g *Graph) OutEdges(id NodeID, fn func(Edge)) {
+	g.mustFrozen()
+	for _, ei := range g.adj[id] {
+		fn(g.edges[ei])
+	}
+}
+
+// InEdges calls fn for each edge entering id.
+func (g *Graph) InEdges(id NodeID, fn func(Edge)) {
+	g.mustFrozen()
+	for _, ei := range g.radj[id] {
+		fn(g.edges[ei])
+	}
+}
+
+func (g *Graph) mustFrozen() {
+	if !g.frozen {
+		panic("roadnet: graph not frozen; call Freeze before querying")
+	}
+}
+
+// Bounds returns the bounding box of all nodes. It panics on an empty graph.
+func (g *Graph) Bounds() geo.BBox {
+	if len(g.nodes) == 0 {
+		panic("roadnet: Bounds of empty graph")
+	}
+	g.mustFrozen()
+	return g.index.Bounds()
+}
+
+// NearestNode snaps p to the closest node (map-matching in the simplest
+// form the paper needs: GPS points become query nodes). It returns Invalid
+// on an empty graph.
+func (g *Graph) NearestNode(p geo.Point) NodeID {
+	g.mustFrozen()
+	if g.index == nil {
+		return Invalid
+	}
+	ns := g.index.KNN(p, 1)
+	if len(ns) == 0 {
+		return Invalid
+	}
+	return NodeID(ns[0].ID)
+}
+
+// NodesWithin returns the node IDs within radius meters of p, closest first.
+func (g *Graph) NodesWithin(p geo.Point, radius float64) []NodeID {
+	g.mustFrozen()
+	if g.index == nil {
+		return nil
+	}
+	ns := g.index.Within(p, radius)
+	out := make([]NodeID, len(ns))
+	for i, n := range ns {
+		out[i] = NodeID(n.ID)
+	}
+	return out
+}
+
+// Path is a node sequence through the graph together with its total weight.
+type Path struct {
+	Nodes  []NodeID
+	Weight float64 // sum of edge weights under the metric used to compute it
+}
+
+// Points converts the path to its polyline.
+func (g *Graph) Points(p Path) []geo.Point {
+	pts := make([]geo.Point, len(p.Nodes))
+	for i, id := range p.Nodes {
+		pts[i] = g.Node(id).P
+	}
+	return pts
+}
+
+// LengthMeters returns the physical length of the path in meters
+// (independent of the weight metric used to find it).
+func (g *Graph) LengthMeters(p Path) float64 {
+	var total float64
+	for i := 1; i < len(p.Nodes); i++ {
+		total += geo.Distance(g.Node(p.Nodes[i-1]).P, g.Node(p.Nodes[i]).P)
+	}
+	return total
+}
+
+// WeightFunc maps an edge to its traversal cost. Costs must be positive and
+// finite; math.Inf(1) marks an impassable edge.
+type WeightFunc func(Edge) float64
+
+// DistanceWeight is the plain length metric.
+func DistanceWeight(e Edge) float64 { return e.Length }
+
+// TimeWeight is free-flow travel time in seconds.
+func TimeWeight(e Edge) float64 { return e.Length / e.Class.FreeFlowSpeed() }
+
+// EnergyWeight approximates traction energy in kWh for a typical compact EV
+// (≈0.16 kWh/km on locals, rising with speed due to drag).
+func EnergyWeight(e Edge) float64 {
+	perKM := 0.16
+	switch e.Class {
+	case ClassArterial:
+		perKM = 0.15
+	case ClassHighway:
+		perKM = 0.17
+	case ClassMotorway:
+		perKM = 0.20
+	}
+	return e.Length / 1000 * perKM
+}
+
+// Blocked is the weight of an impassable edge.
+var Blocked = math.Inf(1)

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"ecocharge/internal/trajectory"
+)
+
+// A fleet larger than the plug supply must queue: waiting shifts sessions
+// later instead of dropping drivers.
+func TestConflictsShiftSessionsNotDropThem(t *testing.T) {
+	env, trips := fleetWorld(t, 6) // very scarce
+	res := Run(env, trips, Config{RadiusM: 8000, AcceptSC: 0.2, Session: time.Hour})
+	total := 0
+	for _, n := range res.PerCharger {
+		total += n
+	}
+	if total != res.Commits {
+		t.Fatalf("%d sessions for %d commits: conflicts dropped drivers", total, res.Commits)
+	}
+}
+
+// Session length controls energy: longer sessions harvest at least as much.
+func TestSessionLengthMonotone(t *testing.T) {
+	env, trips := fleetWorld(t, 40)
+	short := Run(env, trips, Config{RadiusM: 8000, AcceptSC: 0.3, Session: 15 * time.Minute})
+	long := Run(env, trips, Config{RadiusM: 8000, AcceptSC: 0.3, Session: 90 * time.Minute})
+	if long.CleanKWh+long.GridKWh < short.CleanKWh+short.GridKWh {
+		t.Fatalf("longer sessions delivered less total energy: %.1f vs %.1f",
+			long.CleanKWh+long.GridKWh, short.CleanKWh+short.GridKWh)
+	}
+}
+
+// Degenerate trips (too short to segment) are skipped, not counted.
+func TestDegenerateTripsSkipped(t *testing.T) {
+	env, trips := fleetWorld(t, 20)
+	broken := append([]trajectory.Trip{{ID: 999}}, trips[:3]...)
+	res := Run(env, broken, Config{RadiusM: 8000, AcceptSC: 0.3})
+	if res.Vehicles != 3 {
+		t.Fatalf("degenerate trip counted: %d vehicles", res.Vehicles)
+	}
+}

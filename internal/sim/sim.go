@@ -1,0 +1,284 @@
+// Package sim is a deterministic discrete-event fleet simulator: many EVs
+// drive their scheduled trips, continuously query EcoCharge, commit to a
+// recommended charger, drive the detour, occupy a plug and hoard renewable
+// energy. It provides the measurement substrate for the paper's
+// future-work question (§VII) of how the *suggested* Offering Tables shape
+// charger congestion — with and without the load-balancing extension.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/trajectory"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// QueryStepM is the continuous re-evaluation step along trips. 0
+	// selects 1 km.
+	QueryStepM float64
+	// K chargers per Offering Table. 0 selects 3.
+	K int
+	// RadiusM (R) and ReuseDistM (Q) configure each vehicle's EcoCharge
+	// instance. 0 selects 50 km / 5 km.
+	RadiusM    float64
+	ReuseDistM float64
+	// Balanced enables the load-balancing extension: a shared LoadTracker
+	// redirects drivers away from already-claimed chargers.
+	Balanced bool
+	// AcceptSC is the minimum SC midpoint at which a driver commits to
+	// charging. 0 selects 0.5.
+	AcceptSC float64
+	// Session is the charging session length. 0 selects 45 minutes.
+	Session time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueryStepM <= 0 {
+		c.QueryStepM = 1000
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.RadiusM <= 0 {
+		c.RadiusM = 50000
+	}
+	if c.ReuseDistM <= 0 {
+		c.ReuseDistM = 5000
+	}
+	if c.AcceptSC <= 0 {
+		c.AcceptSC = 0.5
+	}
+	if c.Session <= 0 {
+		c.Session = 45 * time.Minute
+	}
+	return c
+}
+
+// Result aggregates one run.
+type Result struct {
+	Vehicles  int
+	Queries   int
+	Commits   int
+	Conflicts int // arrivals finding every plug occupied
+	// CleanKWh is renewable energy delivered across all sessions;
+	// GridKWh the grid top-up needed when production lagged the rate.
+	CleanKWh float64
+	GridKWh  float64
+	// UtilizationGini measures how unevenly sessions spread over the
+	// chargers that received at least one commitment (0 = even, →1 =
+	// concentrated).
+	UtilizationGini float64
+	// PerCharger counts sessions per charger.
+	PerCharger map[int64]int
+}
+
+// String summarizes the result for logs and examples.
+func (r Result) String() string {
+	return fmt.Sprintf("vehicles=%d queries=%d commits=%d conflicts=%d clean=%.1fkWh grid=%.1fkWh gini=%.3f",
+		r.Vehicles, r.Queries, r.Commits, r.Conflicts, r.CleanKWh, r.GridKWh, r.UtilizationGini)
+}
+
+// event kinds.
+type eventKind uint8
+
+const (
+	evQuery eventKind = iota
+	evArrive
+	evDepart
+)
+
+type event struct {
+	at      time.Time
+	kind    eventKind
+	vehicle int
+	segIdx  int
+	charger int64
+	eta     time.Time // commitment key for arrivals
+	seq     int       // tie-break for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// vehicleState tracks one EV through the run.
+type vehicleState struct {
+	trip      trajectory.Trip
+	segments  []trajectory.Segment
+	method    cknn.Method
+	committed bool
+}
+
+// Run simulates the fleet over the given trips (one vehicle per trip) and
+// returns the aggregate result. The simulation is deterministic for a
+// fixed environment and trip list.
+func Run(env *cknn.Env, trips []trajectory.Trip, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tracker := cknn.NewLoadTracker(env.Chargers)
+	tracker.Window = cfg.Session
+
+	vehicles := make([]*vehicleState, 0, len(trips))
+	var q eventQueue
+	seq := 0
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&q, e)
+	}
+	heap.Init(&q)
+
+	for _, trip := range trips {
+		segs := trajectory.SegmentTrip(env.Graph, trip, cfg.QueryStepM)
+		if len(segs) == 0 {
+			continue
+		}
+		var method cknn.Method = cknn.NewEcoCharge(env, cknn.EcoChargeOptions{
+			RadiusM: cfg.RadiusM, ReuseDistM: cfg.ReuseDistM,
+		})
+		if cfg.Balanced {
+			b := cknn.NewBalanced(method, tracker)
+			b.AutoCommit = false // the simulator commits explicitly on acceptance
+			method = b
+		}
+		vehicles = append(vehicles, &vehicleState{trip: trip, segments: segs, method: method})
+		vi := len(vehicles) - 1
+		for si, seg := range segs {
+			push(event{at: seg.ETA, kind: evQuery, vehicle: vi, segIdx: si})
+		}
+	}
+
+	res := Result{Vehicles: len(vehicles), PerCharger: make(map[int64]int)}
+	// Plug occupancy: session end times per charger.
+	occupancy := make(map[int64][]time.Time)
+	plugs := func(id int64) int {
+		if c, ok := env.Chargers.ByID(id); ok && c.Plugs > 0 {
+			return c.Plugs
+		}
+		return 1
+	}
+
+	opts := cknn.TripOptions{K: cfg.K, SegmentLenM: cfg.QueryStepM, RadiusM: cfg.RadiusM}
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		switch e.kind {
+		case evQuery:
+			v := vehicles[e.vehicle]
+			if v.committed {
+				continue // already heading to a charger
+			}
+			res.Queries++
+			query := cknn.QueryForSegment(v.trip, v.segments[e.segIdx], opts)
+			table := v.method.Rank(query)
+			top, ok := table.Top()
+			if !ok || top.SC.Mid() < cfg.AcceptSC {
+				continue
+			}
+			v.committed = true
+			res.Commits++
+			tracker.Commit(top.Charger.ID, top.Comp.ETA)
+			push(event{at: top.Comp.ETA, kind: evArrive, vehicle: e.vehicle, charger: top.Charger.ID, eta: top.Comp.ETA})
+
+		case evArrive:
+			// Free ended sessions, then claim a plug.
+			ends := occupancy[e.charger]
+			kept := ends[:0]
+			for _, end := range ends {
+				if end.After(e.at) {
+					kept = append(kept, end)
+				}
+			}
+			occupancy[e.charger] = kept
+			if len(kept) >= plugs(e.charger) {
+				res.Conflicts++
+				// The driver waits for the earliest plug; the session
+				// shifts accordingly.
+				earliest := kept[0]
+				for _, end := range kept[1:] {
+					if end.Before(earliest) {
+						earliest = end
+					}
+				}
+				push(event{at: earliest, kind: evArrive, vehicle: e.vehicle, charger: e.charger, eta: e.eta})
+				continue
+			}
+			sessionEnd := e.at.Add(cfg.Session)
+			occupancy[e.charger] = append(occupancy[e.charger], sessionEnd)
+			res.PerCharger[e.charger]++
+			clean, grid := sessionEnergy(env, e.charger, e.at, cfg.Session)
+			res.CleanKWh += clean
+			res.GridKWh += grid
+			push(event{at: sessionEnd, kind: evDepart, vehicle: e.vehicle, charger: e.charger})
+
+		case evDepart:
+			tracker.Cancel(e.charger, e.eta) // harmless if already expired
+		}
+	}
+	res.UtilizationGini = gini(res.PerCharger)
+	return res
+}
+
+// sessionEnergy integrates truth production over the session in 5-minute
+// steps: clean up to the production, grid top-up to the plug rate when the
+// driver charges at full rate regardless (the hoarding scenario assumes
+// renewable-only charging, so grid here quantifies what hoarding avoided).
+func sessionEnergy(env *cknn.Env, chargerID int64, from time.Time, session time.Duration) (cleanKWh, gridKWh float64) {
+	c, ok := env.Chargers.ByID(chargerID)
+	if !ok {
+		return 0, 0
+	}
+	const step = 5 * time.Minute
+	rate := c.Rate.KW()
+	for t := from; t.Before(from.Add(session)); t = t.Add(step) {
+		prod := env.Solar.Truth(c.Site(), t)
+		if prod > rate {
+			prod = rate
+		}
+		cleanKWh += prod * step.Hours()
+		gridKWh += (rate - prod) * step.Hours()
+	}
+	return cleanKWh, gridKWh
+}
+
+// gini computes the Gini coefficient of the session counts.
+func gini(counts map[int64]int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	xs := make([]float64, 0, len(counts))
+	var sum float64
+	for _, n := range counts {
+		xs = append(xs, float64(n))
+		sum += float64(n)
+	}
+	if sum == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	var cum float64
+	for i, x := range xs {
+		cum += x * float64(2*(i+1)-len(xs)-1)
+	}
+	g := cum / (float64(len(xs)) * sum)
+	return math.Abs(g)
+}

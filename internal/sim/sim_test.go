@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/ec"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+	"ecocharge/internal/trajectory"
+)
+
+var simStart = time.Date(2024, 6, 18, 9, 0, 0, 0, time.UTC)
+
+// fleetWorld builds a small dense world where contention is likely: few
+// chargers, many overlapping trips.
+func fleetWorld(t testing.TB, chargers int) (*cknn.Env, []trajectory.Trip) {
+	t.Helper()
+	g := roadnet.GenerateUrban(roadnet.UrbanConfig{
+		Origin: geo.Point{Lat: 53.0, Lon: 8.0}, WidthKM: 8, HeightKM: 6,
+		SpacingM: 500, RemoveFrac: 0.05, JitterFrac: 0.2, ArterialEach: 4, Seed: 2,
+	})
+	avail := ec.NewAvailabilityModel(3)
+	set, err := charger.Generate(g, avail, charger.GenConfig{N: chargers, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := cknn.NewEnv(g, set, ec.NewSolarModel(5), avail, ec.NewTrafficModel(6), cknn.EnvConfig{RadiusM: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips, err := trajectory.Generate(g, trajectory.GenConfig{
+		N: 25, Seed: 7, MinTripKM: 4, MaxTripKM: 10,
+		Start: simStart, Window: 20 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, trips
+}
+
+func TestRunBasics(t *testing.T) {
+	env, trips := fleetWorld(t, 40)
+	res := Run(env, trips, Config{RadiusM: 8000, AcceptSC: 0.3})
+	if res.Vehicles != 25 {
+		t.Fatalf("vehicles = %d", res.Vehicles)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries issued")
+	}
+	if res.Commits == 0 {
+		t.Fatal("no driver ever committed — AcceptSC too strict for the world")
+	}
+	if res.Commits > res.Vehicles {
+		t.Fatalf("commits %d exceed vehicles %d", res.Commits, res.Vehicles)
+	}
+	if res.CleanKWh < 0 || res.GridKWh < 0 {
+		t.Fatalf("negative energy: %+v", res)
+	}
+	if res.CleanKWh == 0 {
+		t.Error("morning sessions harvested no clean energy")
+	}
+	total := 0
+	for _, n := range res.PerCharger {
+		total += n
+	}
+	if total != res.Commits {
+		t.Errorf("sessions %d != commits %d", total, res.Commits)
+	}
+	if res.UtilizationGini < 0 || res.UtilizationGini > 1 {
+		t.Errorf("gini = %v", res.UtilizationGini)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	env, trips := fleetWorld(t, 40)
+	a := Run(env, trips, Config{RadiusM: 8000, AcceptSC: 0.3})
+	b := Run(env, trips, Config{RadiusM: 8000, AcceptSC: 0.3})
+	if a.Commits != b.Commits || a.Conflicts != b.Conflicts || a.CleanKWh != b.CleanKWh {
+		t.Fatalf("simulation not deterministic:\n a=%v\n b=%v", a, b)
+	}
+}
+
+func TestBalancedReducesConcentration(t *testing.T) {
+	// Scarce chargers force contention; balancing must spread the load.
+	env, trips := fleetWorld(t, 12)
+	plain := Run(env, trips, Config{RadiusM: 8000, AcceptSC: 0.2})
+	balanced := Run(env, trips, Config{RadiusM: 8000, AcceptSC: 0.2, Balanced: true})
+
+	if plain.Commits == 0 || balanced.Commits == 0 {
+		t.Fatalf("no commits: plain=%v balanced=%v", plain, balanced)
+	}
+	// Balancing must not increase plug conflicts.
+	if balanced.Conflicts > plain.Conflicts {
+		t.Errorf("balancing increased conflicts: %d vs %d", balanced.Conflicts, plain.Conflicts)
+	}
+	// And must spread sessions over at least as many chargers.
+	if len(balanced.PerCharger) < len(plain.PerCharger) {
+		t.Errorf("balancing reduced charger diversity: %d vs %d",
+			len(balanced.PerCharger), len(plain.PerCharger))
+	}
+	maxSessions := func(m map[int64]int) int {
+		max := 0
+		for _, n := range m {
+			if n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	if maxSessions(balanced.PerCharger) > maxSessions(plain.PerCharger) {
+		t.Errorf("balancing increased the hottest charger's load: %d vs %d",
+			maxSessions(balanced.PerCharger), maxSessions(plain.PerCharger))
+	}
+}
+
+func TestAcceptThresholdGates(t *testing.T) {
+	env, trips := fleetWorld(t, 40)
+	none := Run(env, trips, Config{RadiusM: 8000, AcceptSC: 0.999})
+	if none.Commits != 0 {
+		t.Errorf("impossible threshold still committed %d drivers", none.Commits)
+	}
+	if none.Queries == 0 {
+		t.Error("queries must still run")
+	}
+}
+
+func TestEmptyFleet(t *testing.T) {
+	env, _ := fleetWorld(t, 10)
+	res := Run(env, nil, Config{})
+	if res.Vehicles != 0 || res.Queries != 0 || res.Commits != 0 {
+		t.Errorf("empty fleet result: %v", res)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini(nil); g != 0 {
+		t.Errorf("gini(nil) = %v", g)
+	}
+	even := map[int64]int{1: 5, 2: 5, 3: 5, 4: 5}
+	skew := map[int64]int{1: 17, 2: 1, 3: 1, 4: 1}
+	ge, gs := gini(even), gini(skew)
+	if ge != 0 {
+		t.Errorf("even gini = %v, want 0", ge)
+	}
+	if gs <= ge {
+		t.Errorf("skewed gini %v not above even %v", gs, ge)
+	}
+	if gs > 1 {
+		t.Errorf("gini %v above 1", gs)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Vehicles: 2, Commits: 1, CleanKWh: 3.5}
+	if s := r.String(); s == "" {
+		t.Error("empty String")
+	}
+}

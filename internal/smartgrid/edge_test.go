@@ -1,0 +1,57 @@
+package smartgrid_test
+
+import (
+	"testing"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/interval"
+	"ecocharge/internal/smartgrid"
+)
+
+// Heavier price weight flips a ranking that mild weights keep: a slightly
+// better-SC peak charger loses to an off-peak one once β grows.
+func TestPriceWeightControlsTradeoff(t *testing.T) {
+	peakEntry := cknn.Entry{
+		Charger: &charger.Charger{ID: 1},
+		SC:      interval.New(0.74, 0.78), // a bit better
+		Comp:    cknn.Components{ETA: time.Date(2024, 6, 18, 18, 0, 0, 0, time.UTC)},
+	}
+	offEntry := cknn.Entry{
+		Charger: &charger.Charger{ID: 2},
+		SC:      interval.New(0.70, 0.74),
+		Comp:    cknn.Components{ETA: time.Date(2024, 6, 19, 1, 0, 0, 0, time.UTC)},
+	}
+	table := cknn.OfferingTable{Entries: []cknn.Entry{peakEntry, offEntry}}
+	now := time.Date(2024, 6, 18, 17, 0, 0, 0, time.UTC)
+
+	mild := smartgrid.NewAdvisor(smartgrid.DefaultTariff(), smartgrid.NewGridSignal())
+	mild.PriceWeight, mild.StressWeight = 0.01, 0.01
+	if got := mild.Advise(table, now); got[0].Entry.Charger.ID != 1 {
+		t.Fatalf("mild weights flipped the SC order: %v first", got[0].Entry.Charger.ID)
+	}
+
+	harsh := smartgrid.NewAdvisor(smartgrid.DefaultTariff(), smartgrid.NewGridSignal())
+	harsh.PriceWeight, harsh.StressWeight = 0.5, 0.5
+	if got := harsh.Advise(table, now); got[0].Entry.Charger.ID != 2 {
+		t.Fatalf("harsh weights did not prefer off-peak: %v first", got[0].Entry.Charger.ID)
+	}
+}
+
+// A session straddling the peak→off-peak boundary prices as an interval
+// spanning both bands.
+func TestSessionAcrossBandBoundary(t *testing.T) {
+	tf := smartgrid.DefaultTariff()
+	start := time.Date(2024, 6, 18, 20, 30, 0, 0, time.UTC) // peak ends 21:00
+	iv := tf.SessionPrice(start, time.Hour)
+	if iv.IsExact() {
+		t.Fatalf("boundary-straddling session priced as a point: %v", iv)
+	}
+	if iv.Max != tf.PriceAt(start) {
+		t.Errorf("interval max %v is not the peak price", iv.Max)
+	}
+	if iv.Min >= iv.Max {
+		t.Errorf("interval %v not widened by the cheaper band", iv)
+	}
+}

@@ -1,0 +1,30 @@
+package smartgrid_test
+
+import (
+	"fmt"
+	"time"
+
+	"ecocharge/internal/smartgrid"
+)
+
+// Compare the cost of a 20 kWh session at the weekday evening peak versus
+// the night off-peak band.
+func ExampleAdvisor_SessionCost() {
+	advisor := smartgrid.NewAdvisor(smartgrid.DefaultTariff(), smartgrid.NewGridSignal())
+	peak := time.Date(2024, 6, 18, 18, 0, 0, 0, time.UTC)
+	night := time.Date(2024, 6, 19, 1, 0, 0, 0, time.UTC)
+	fmt.Printf("peak:     %s €\n", advisor.SessionCost(peak, 20))
+	fmt.Printf("off-peak: %s €\n", advisor.SessionCost(night, 20))
+	// Output:
+	// peak:     [8.4, 8.4] €
+	// off-peak: [3.6, 3.6] €
+}
+
+func ExampleTariff_BandAt() {
+	t := smartgrid.DefaultTariff()
+	fmt.Println(t.BandAt(time.Date(2024, 6, 18, 3, 0, 0, 0, time.UTC)))
+	fmt.Println(t.BandAt(time.Date(2024, 6, 18, 18, 0, 0, 0, time.UTC)))
+	// Output:
+	// off-peak
+	// peak
+}

@@ -1,0 +1,274 @@
+// Package smartgrid implements the paper's second future-work extension
+// (§VII): integrating EcoCharge "with smart grid technologies and taking
+// advantage of off-peak electricity rates and grid stabilization services."
+//
+// It adds two more estimated components on top of the CkNN-EC core — a
+// time-of-use tariff and a grid-stress signal — and an Advisor that
+// re-ranks an Offering Table with a grid-aware score:
+//
+//	GS = SC − β·pricê − γ·stresŝ
+//
+// where pricê is the normalized tariff interval at the charging window and
+// stresŝ the forecast grid stress. Both are intervals, so the re-ranking
+// reuses the same interval machinery (eq. 6 style) as the core.
+package smartgrid
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/interval"
+)
+
+// Band is a tariff price band.
+type Band uint8
+
+// Tariff bands, cheapest first.
+const (
+	OffPeak Band = iota
+	Shoulder
+	Peak
+)
+
+// String implements fmt.Stringer.
+func (b Band) String() string {
+	switch b {
+	case OffPeak:
+		return "off-peak"
+	case Shoulder:
+		return "shoulder"
+	case Peak:
+		return "peak"
+	}
+	return fmt.Sprintf("band(%d)", uint8(b))
+}
+
+// Tariff is a weekly time-of-use schedule with per-band prices in €/kWh.
+type Tariff struct {
+	// Prices per band. Zero value selects a typical EU retail spread.
+	Prices map[Band]float64
+	// Schedule maps (weekday, hour) to a band. The zero value selects the
+	// common pattern: off-peak nights and weekend mornings, peak on
+	// weekday evenings, shoulder otherwise.
+	Schedule func(day time.Weekday, hour int) Band
+}
+
+// DefaultTariff returns the standard schedule.
+func DefaultTariff() *Tariff {
+	return &Tariff{
+		Prices: map[Band]float64{OffPeak: 0.18, Shoulder: 0.28, Peak: 0.42},
+	}
+}
+
+func (t *Tariff) prices() map[Band]float64 {
+	if len(t.Prices) == 3 {
+		return t.Prices
+	}
+	return map[Band]float64{OffPeak: 0.18, Shoulder: 0.28, Peak: 0.42}
+}
+
+// BandAt returns the band in effect at time ts.
+func (t *Tariff) BandAt(ts time.Time) Band {
+	if t.Schedule != nil {
+		return t.Schedule(ts.Weekday(), ts.Hour())
+	}
+	h := ts.Hour()
+	weekend := ts.Weekday() == time.Saturday || ts.Weekday() == time.Sunday
+	switch {
+	case h < 6 || h >= 23:
+		return OffPeak
+	case weekend && h < 12:
+		return OffPeak
+	case !weekend && h >= 17 && h < 21:
+		return Peak
+	default:
+		return Shoulder
+	}
+}
+
+// PriceAt returns the €/kWh price at ts.
+func (t *Tariff) PriceAt(ts time.Time) float64 {
+	return t.prices()[t.BandAt(ts)]
+}
+
+// SessionPrice returns the average €/kWh interval over a charging session
+// starting at eta with the given duration, sampled in 15-minute steps.
+// Day-ahead tariffs are known exactly, so the interval is the min..max of
+// bands touched by the session.
+func (t *Tariff) SessionPrice(eta time.Time, session time.Duration) interval.I {
+	if session <= 0 {
+		p := t.PriceAt(eta)
+		return interval.Exact(p)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for ts := eta; ts.Before(eta.Add(session)); ts = ts.Add(15 * time.Minute) {
+		p := t.PriceAt(ts)
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return interval.I{Min: lo, Max: hi}
+}
+
+// MaxPrice returns the highest configured price, the normalizer of pricê.
+func (t *Tariff) MaxPrice() float64 {
+	max := 0.0
+	for _, p := range t.prices() {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// GridSignal forecasts grid stress in [0, 1]: 0 means surplus (charging
+// helps the grid absorb renewables), 1 means strain (charging competes
+// with peak demand). The deterministic shape peaks on weekday evenings and
+// dips around solar noon; forecast uncertainty grows mildly with horizon.
+type GridSignal struct {
+	// PeakStress scales the evening strain. 0 selects 0.9.
+	PeakStress float64
+}
+
+// NewGridSignal returns the default signal.
+func NewGridSignal() *GridSignal { return &GridSignal{PeakStress: 0.9} }
+
+func (g *GridSignal) peak() float64 {
+	if g.PeakStress <= 0 || g.PeakStress > 1 {
+		return 0.9
+	}
+	return g.PeakStress
+}
+
+// Truth returns the actual stress at ts.
+func (g *GridSignal) Truth(ts time.Time) float64 {
+	h := float64(ts.Hour()) + float64(ts.Minute())/60
+	weekend := ts.Weekday() == time.Saturday || ts.Weekday() == time.Sunday
+	evening := math.Exp(-(h - 19) * (h - 19) / 6)
+	morning := 0.5 * math.Exp(-(h-8)*(h-8)/4)
+	solarDip := 0.35 * math.Exp(-(h-13)*(h-13)/8)
+	base := 0.25 + g.peak()*(evening+morning)/1.5 - solarDip
+	if weekend {
+		base *= 0.7
+	}
+	if base < 0 {
+		return 0
+	}
+	if base > 1 {
+		return 1
+	}
+	return base
+}
+
+// Forecast returns the stress interval at ts for an estimate issued at
+// issuedAt.
+func (g *GridSignal) Forecast(ts, issuedAt time.Time) interval.I {
+	truth := g.Truth(ts)
+	horizon := ts.Sub(issuedAt).Hours()
+	if horizon < 0 {
+		horizon = 0
+	}
+	err := math.Min(0.02+0.02*horizon, 0.15)
+	return interval.New(truth-err, truth+err).Clamp(0, 1)
+}
+
+// Advisor re-ranks Offering Tables with the grid-aware score.
+type Advisor struct {
+	Tariff *Tariff
+	Grid   *GridSignal
+	// PriceWeight (β) and StressWeight (γ) scale the two penalties.
+	// Zero values select 0.2 each.
+	PriceWeight  float64
+	StressWeight float64
+	// Session is the assumed charging duration. 0 selects 45 minutes.
+	Session time.Duration
+}
+
+// NewAdvisor returns an advisor with default weights over the tariff and
+// signal.
+func NewAdvisor(t *Tariff, g *GridSignal) *Advisor {
+	return &Advisor{Tariff: t, Grid: g, PriceWeight: 0.2, StressWeight: 0.2}
+}
+
+func (a *Advisor) weights() (beta, gamma float64) {
+	beta, gamma = a.PriceWeight, a.StressWeight
+	if beta <= 0 {
+		beta = 0.2
+	}
+	if gamma <= 0 {
+		gamma = 0.2
+	}
+	return beta, gamma
+}
+
+func (a *Advisor) session() time.Duration {
+	if a.Session <= 0 {
+		return 45 * time.Minute
+	}
+	return a.Session
+}
+
+// Advice is one grid-aware Offering Table row.
+type Advice struct {
+	Entry cknn.Entry
+	// GS is the grid-aware score interval.
+	GS interval.I
+	// Price is the €/kWh interval of the session.
+	Price interval.I
+	// Stress is the grid-stress interval at the ETA.
+	Stress interval.I
+	// Band is the tariff band at the ETA.
+	Band Band
+}
+
+// Advise re-ranks the table's entries by the grid-aware score GS,
+// descending. issuedAt anchors the stress forecast horizon.
+func (a *Advisor) Advise(table cknn.OfferingTable, issuedAt time.Time) []Advice {
+	beta, gamma := a.weights()
+	maxPrice := a.Tariff.MaxPrice()
+	out := make([]Advice, 0, len(table.Entries))
+	for _, e := range table.Entries {
+		price := a.Tariff.SessionPrice(e.Comp.ETA, a.session())
+		stress := a.Grid.Forecast(e.Comp.ETA, issuedAt)
+		pn := price.Normalize(maxPrice)
+		gs := e.SC.Sub(pn.Scale(beta)).Sub(stress.Scale(gamma))
+		out = append(out, Advice{
+			Entry:  e,
+			GS:     gs,
+			Price:  price,
+			Stress: stress,
+			Band:   a.Tariff.BandAt(e.Comp.ETA),
+		})
+	}
+	// Order by GS midpoint, ties by lower price then charger ID.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && lessAdvice(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func lessAdvice(x, y Advice) bool {
+	if x.GS.Mid() != y.GS.Mid() {
+		return x.GS.Mid() > y.GS.Mid()
+	}
+	if x.Price.Mid() != y.Price.Mid() {
+		return x.Price.Mid() < y.Price.Mid()
+	}
+	return x.Entry.Charger.ID < y.Entry.Charger.ID
+}
+
+// SessionCost estimates the €-cost interval of charging kWh energy
+// starting at eta.
+func (a *Advisor) SessionCost(eta time.Time, kWh float64) interval.I {
+	if kWh <= 0 {
+		return interval.Exact(0)
+	}
+	return a.Tariff.SessionPrice(eta, a.session()).Scale(kWh)
+}

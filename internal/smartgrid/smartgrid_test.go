@@ -1,0 +1,189 @@
+package smartgrid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/interval"
+)
+
+var (
+	weekdayNight   = time.Date(2024, 6, 18, 2, 0, 0, 0, time.UTC)  // Tuesday 02:00
+	weekdayEvening = time.Date(2024, 6, 18, 18, 0, 0, 0, time.UTC) // Tuesday 18:00
+	weekdayNoon    = time.Date(2024, 6, 18, 13, 0, 0, 0, time.UTC)
+	weekendMorning = time.Date(2024, 6, 22, 9, 0, 0, 0, time.UTC) // Saturday 09:00
+)
+
+func TestTariffBands(t *testing.T) {
+	tf := DefaultTariff()
+	if b := tf.BandAt(weekdayNight); b != OffPeak {
+		t.Errorf("night band = %v", b)
+	}
+	if b := tf.BandAt(weekdayEvening); b != Peak {
+		t.Errorf("weekday evening band = %v", b)
+	}
+	if b := tf.BandAt(weekdayNoon); b != Shoulder {
+		t.Errorf("weekday noon band = %v", b)
+	}
+	if b := tf.BandAt(weekendMorning); b != OffPeak {
+		t.Errorf("weekend morning band = %v", b)
+	}
+	// Prices ordered cheapest to priciest.
+	if !(tf.PriceAt(weekdayNight) < tf.PriceAt(weekdayNoon) && tf.PriceAt(weekdayNoon) < tf.PriceAt(weekdayEvening)) {
+		t.Error("band prices not ordered")
+	}
+	if tf.MaxPrice() != tf.PriceAt(weekdayEvening) {
+		t.Error("MaxPrice is not the peak price")
+	}
+}
+
+func TestTariffCustomSchedule(t *testing.T) {
+	tf := DefaultTariff()
+	tf.Schedule = func(time.Weekday, int) Band { return Peak }
+	if tf.BandAt(weekdayNight) != Peak {
+		t.Error("custom schedule ignored")
+	}
+}
+
+func TestBandString(t *testing.T) {
+	if OffPeak.String() != "off-peak" || Peak.String() != "peak" || Band(9).String() == "" {
+		t.Error("Band String wrong")
+	}
+}
+
+func TestSessionPriceSpansBands(t *testing.T) {
+	tf := DefaultTariff()
+	// Session from 22:30 to 23:30 crosses shoulder → off-peak.
+	start := time.Date(2024, 6, 18, 22, 30, 0, 0, time.UTC)
+	iv := tf.SessionPrice(start, time.Hour)
+	if iv.Min != tf.prices()[OffPeak] || iv.Max != tf.prices()[Shoulder] {
+		t.Errorf("crossing session price = %v", iv)
+	}
+	// Zero-duration session is the instantaneous price.
+	if got := tf.SessionPrice(weekdayNight, 0); !got.IsExact() {
+		t.Errorf("instant price = %v", got)
+	}
+}
+
+func TestGridSignalShape(t *testing.T) {
+	g := NewGridSignal()
+	evening := g.Truth(weekdayEvening.Add(time.Hour)) // 19:00 peak
+	noon := g.Truth(weekdayNoon)
+	night := g.Truth(weekdayNight.Add(2 * time.Hour)) // 04:00
+	if evening <= noon {
+		t.Errorf("evening stress %v not above solar noon %v", evening, noon)
+	}
+	if evening <= night {
+		t.Errorf("evening stress %v not above deep night %v", evening, night)
+	}
+	for h := 0; h < 24; h++ {
+		v := g.Truth(time.Date(2024, 6, 18, h, 0, 0, 0, time.UTC))
+		if v < 0 || v > 1 {
+			t.Fatalf("stress %v out of range at hour %d", v, h)
+		}
+	}
+	// Weekend milder than weekday at the same hour.
+	sat := g.Truth(time.Date(2024, 6, 22, 19, 0, 0, 0, time.UTC))
+	tue := g.Truth(time.Date(2024, 6, 18, 19, 0, 0, 0, time.UTC))
+	if sat >= tue {
+		t.Errorf("weekend stress %v not below weekday %v", sat, tue)
+	}
+}
+
+func TestGridForecastContainsTruth(t *testing.T) {
+	g := NewGridSignal()
+	issued := weekdayNoon
+	for _, horizon := range []time.Duration{0, time.Hour, 6 * time.Hour} {
+		ts := issued.Add(horizon)
+		iv := g.Forecast(ts, issued)
+		if !iv.Contains(g.Truth(ts)) && iv.Min > 0 && iv.Max < 1 {
+			t.Errorf("horizon %v: forecast %v missing truth %v", horizon, iv, g.Truth(ts))
+		}
+		if iv.Min < 0 || iv.Max > 1 {
+			t.Errorf("forecast %v out of range", iv)
+		}
+	}
+	near := g.Forecast(issued.Add(30*time.Minute), issued).Width()
+	far := g.Forecast(issued.Add(6*time.Hour), issued).Width()
+	if far < near {
+		t.Errorf("forecast width shrank with horizon: %v vs %v", near, far)
+	}
+}
+
+// adviceTable builds a two-entry table: equal SC, one charging at peak and
+// one at off-peak.
+func adviceTable() cknn.OfferingTable {
+	mk := func(id int64, eta time.Time) cknn.Entry {
+		return cknn.Entry{
+			Charger: &charger.Charger{ID: id, Rate: charger.RateAC22},
+			SC:      interval.New(0.7, 0.8),
+			Comp:    cknn.Components{ETA: eta},
+		}
+	}
+	return cknn.OfferingTable{Entries: []cknn.Entry{
+		mk(1, weekdayEvening), // peak price, high stress
+		mk(2, weekdayNight),   // off-peak, low stress
+	}}
+}
+
+func TestAdvisorPrefersOffPeak(t *testing.T) {
+	a := NewAdvisor(DefaultTariff(), NewGridSignal())
+	out := a.Advise(adviceTable(), weekdayNight)
+	if len(out) != 2 {
+		t.Fatalf("got %d advices", len(out))
+	}
+	if out[0].Entry.Charger.ID != 2 {
+		t.Fatalf("advisor preferred the peak-hour charger: %+v", out[0])
+	}
+	if out[0].Band != OffPeak || out[1].Band != Peak {
+		t.Errorf("bands = %v, %v", out[0].Band, out[1].Band)
+	}
+	// The grid-aware score is below the raw SC (penalties only subtract).
+	for _, ad := range out {
+		if ad.GS.Mid() > ad.Entry.SC.Mid() {
+			t.Errorf("GS %v above SC %v", ad.GS, ad.Entry.SC)
+		}
+	}
+}
+
+func TestAdvisorEmptyTable(t *testing.T) {
+	a := NewAdvisor(DefaultTariff(), NewGridSignal())
+	if out := a.Advise(cknn.OfferingTable{}, weekdayNoon); len(out) != 0 {
+		t.Errorf("advice for empty table: %v", out)
+	}
+}
+
+func TestSessionCost(t *testing.T) {
+	a := NewAdvisor(DefaultTariff(), NewGridSignal())
+	cost := a.SessionCost(weekdayNight, 20) // 20 kWh at off-peak 0.18
+	if math.Abs(cost.Mid()-20*0.18) > 1e-9 {
+		t.Errorf("off-peak session cost = %v", cost)
+	}
+	if got := a.SessionCost(weekdayNight, 0); !got.IsExact() || got.Mid() != 0 {
+		t.Errorf("zero-energy cost = %v", got)
+	}
+	if got := a.SessionCost(weekdayNight, -5); got.Mid() != 0 {
+		t.Errorf("negative energy cost = %v", got)
+	}
+}
+
+func TestAdvisorDeterministicTies(t *testing.T) {
+	// Same SC, same ETA: order falls back to charger ID.
+	mk := func(id int64) cknn.Entry {
+		return cknn.Entry{
+			Charger: &charger.Charger{ID: id},
+			SC:      interval.Exact(0.5),
+			Comp:    cknn.Components{ETA: weekdayNoon},
+		}
+	}
+	table := cknn.OfferingTable{Entries: []cknn.Entry{mk(3), mk(1), mk(2)}}
+	out := NewAdvisor(DefaultTariff(), NewGridSignal()).Advise(table, weekdayNoon)
+	for i, want := range []int64{1, 2, 3} {
+		if out[i].Entry.Charger.ID != want {
+			t.Fatalf("tie order: %v", out)
+		}
+	}
+}

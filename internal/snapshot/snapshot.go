@@ -1,0 +1,281 @@
+// Package snapshot bundles a complete scenario world — road network,
+// charger inventory, trip workload and the model seeds — into a single zip
+// archive, and restores it bit-for-bit. It is how a reproducible
+// evaluation world travels between machines: the EIS of the paper
+// distributes consolidated data to clients (§IV); the snapshot is the
+// batch equivalent.
+package snapshot
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/ec"
+	"ecocharge/internal/experiment"
+	"ecocharge/internal/roadnet"
+	"ecocharge/internal/trajectory"
+)
+
+// Manifest records everything the CSV payloads cannot: identity, scale and
+// the deterministic model seeds the world regenerates its forecasts from.
+type Manifest struct {
+	FormatVersion int       `json:"format_version"`
+	Name          string    `json:"name"`
+	Scale         float64   `json:"scale"`
+	Seed          int64     `json:"seed"`
+	Start         time.Time `json:"start"`
+	// Model seeds, read from the environment's models so custom worlds
+	// restore with identical forecasts.
+	SolarSeed   int64 `json:"solar_seed"`
+	AvailSeed   int64 `json:"avail_seed"`
+	TrafficSeed int64 `json:"traffic_seed"`
+	WindSeed    int64 `json:"wind_seed"`
+	HasWind     bool  `json:"has_wind"`
+	// MaxDeroutSec preserves the environment's derouting budget (it is
+	// derived from the configured radius and changes every normalized D).
+	MaxDeroutSec float64 `json:"max_derout_sec"`
+	// Counts for integrity checking on load.
+	Nodes    int `json:"nodes"`
+	Edges    int `json:"edges"`
+	Chargers int `json:"chargers"`
+	Trips    int `json:"trips"`
+}
+
+const formatVersion = 1
+
+// Archive member names.
+const (
+	manifestName = "manifest.json"
+	graphName    = "graph.csv"
+	chargersName = "chargers.csv"
+	tripsName    = "trips.json"
+)
+
+// tripJSON is the archived trip form (node paths are graph-relative).
+type tripJSON struct {
+	ID     int64     `json:"id"`
+	Depart time.Time `json:"depart"`
+	Weight float64   `json:"weight"`
+	Nodes  []int32   `json:"nodes"`
+}
+
+// Save writes the scenario as a zip archive.
+func Save(w io.Writer, sc *experiment.Scenario) error {
+	zw := zip.NewWriter(w)
+
+	man := Manifest{
+		FormatVersion: formatVersion,
+		Name:          sc.Name,
+		Scale:         sc.Scale,
+		Seed:          sc.Seed,
+		Start:         sc.Start,
+		SolarSeed:     sc.Env.Solar.Seed,
+		AvailSeed:     sc.Env.Avail.Seed,
+		TrafficSeed:   sc.Env.Traffic.Seed,
+		Nodes:         sc.Graph.NumNodes(),
+		Edges:         sc.Graph.NumEdges(),
+		Chargers:      sc.Env.Chargers.Len(),
+		Trips:         len(sc.Trips),
+	}
+	if sc.Env.Wind != nil {
+		man.HasWind = true
+		man.WindSeed = sc.Env.Wind.Seed
+	}
+	man.MaxDeroutSec = sc.Env.MaxDeroutSec
+	if err := writeZipJSON(zw, manifestName, man); err != nil {
+		return err
+	}
+
+	gw, err := zw.Create(graphName)
+	if err != nil {
+		return err
+	}
+	if err := sc.Graph.WriteCSV(gw); err != nil {
+		return fmt.Errorf("snapshot: writing graph: %w", err)
+	}
+
+	cw, err := zw.Create(chargersName)
+	if err != nil {
+		return err
+	}
+	if err := sc.Env.Chargers.WriteCSV(cw); err != nil {
+		return fmt.Errorf("snapshot: writing chargers: %w", err)
+	}
+
+	trips := make([]tripJSON, len(sc.Trips))
+	for i, t := range sc.Trips {
+		nodes := make([]int32, len(t.Path.Nodes))
+		for j, n := range t.Path.Nodes {
+			nodes[j] = int32(n)
+		}
+		trips[i] = tripJSON{ID: t.ID, Depart: t.Depart, Weight: t.Path.Weight, Nodes: nodes}
+	}
+	if err := writeZipJSON(zw, tripsName, trips); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+func writeZipJSON(zw *zip.Writer, name string, v interface{}) error {
+	w, err := zw.Create(name)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("snapshot: encoding %s: %w", name, err)
+	}
+	return nil
+}
+
+// Load reconstructs the scenario from an archive produced by Save. The
+// models are re-seeded from the manifest, so forecasts and truths match
+// the original world exactly.
+func Load(r io.ReaderAt, size int64) (*experiment.Scenario, error) {
+	zr, err := zip.NewReader(r, size)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: opening archive: %w", err)
+	}
+	files := make(map[string]*zip.File, len(zr.File))
+	for _, f := range zr.File {
+		files[f.Name] = f
+	}
+	for _, need := range []string{manifestName, graphName, chargersName, tripsName} {
+		if files[need] == nil {
+			return nil, fmt.Errorf("snapshot: archive missing %s", need)
+		}
+	}
+
+	var man Manifest
+	if err := readZipJSON(files[manifestName], &man); err != nil {
+		return nil, err
+	}
+	if man.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d", man.FormatVersion)
+	}
+
+	graph, err := readGraph(files[graphName])
+	if err != nil {
+		return nil, err
+	}
+	if graph.NumNodes() != man.Nodes || graph.NumEdges() != man.Edges {
+		return nil, fmt.Errorf("snapshot: graph size %d/%d does not match manifest %d/%d",
+			graph.NumNodes(), graph.NumEdges(), man.Nodes, man.Edges)
+	}
+
+	rows, err := readChargers(files[chargersName])
+	if err != nil {
+		return nil, err
+	}
+	avail := ec.NewAvailabilityModel(man.AvailSeed)
+	for i := range rows {
+		rows[i].Timetable = avail.GenerateTimetable(rows[i].ID)
+	}
+	set, err := charger.NewSet(rows)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: rebuilding charger set: %w", err)
+	}
+	if set.Len() != man.Chargers {
+		return nil, fmt.Errorf("snapshot: %d chargers, manifest says %d", set.Len(), man.Chargers)
+	}
+
+	envCfg := cknn.EnvConfig{RadiusM: 50000, MaxDeroutSec: man.MaxDeroutSec}
+	if man.HasWind {
+		envCfg.Wind = ec.NewWindModel(man.WindSeed)
+	}
+	env, err := cknn.NewEnv(graph, set,
+		ec.NewSolarModel(man.SolarSeed), avail, ec.NewTrafficModel(man.TrafficSeed), envCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var trips []tripJSON
+	if err := readZipJSON(files[tripsName], &trips); err != nil {
+		return nil, err
+	}
+	if len(trips) != man.Trips {
+		return nil, fmt.Errorf("snapshot: %d trips, manifest says %d", len(trips), man.Trips)
+	}
+	out := make([]trajectory.Trip, len(trips))
+	for i, t := range trips {
+		nodes := make([]roadnet.NodeID, len(t.Nodes))
+		for j, n := range t.Nodes {
+			if int(n) < 0 || int(n) >= graph.NumNodes() {
+				return nil, fmt.Errorf("snapshot: trip %d references missing node %d", t.ID, n)
+			}
+			nodes[j] = roadnet.NodeID(n)
+		}
+		out[i] = trajectory.Trip{
+			ID:     t.ID,
+			Depart: t.Depart,
+			Path:   roadnet.Path{Nodes: nodes, Weight: t.Weight},
+		}
+	}
+
+	profile, err := trajectory.ProfileByName(man.Name)
+	if err != nil {
+		profile = nil // custom worlds are fine; the profile is advisory
+	}
+	return &experiment.Scenario{
+		Name: man.Name, Profile: profile, Graph: graph, Env: env,
+		Trips: out, Scale: man.Scale, Seed: man.Seed, Start: man.Start,
+	}, nil
+}
+
+func readZipJSON(f *zip.File, v interface{}) error {
+	rc, err := f.Open()
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	if err := json.NewDecoder(rc).Decode(v); err != nil {
+		return fmt.Errorf("snapshot: decoding %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+func readGraph(f *zip.File) (*roadnet.Graph, error) {
+	rc, err := f.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	g, err := roadnet.ReadCSV(rc)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading graph: %w", err)
+	}
+	return g, nil
+}
+
+func readChargers(f *zip.File) ([]charger.Charger, error) {
+	rc, err := f.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	rows, err := charger.ReadCSV(rc)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading chargers: %w", err)
+	}
+	return rows, nil
+}
+
+// SaveToBytes is a convenience wrapper for tests and small worlds.
+func SaveToBytes(sc *experiment.Scenario) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sc); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadFromBytes is the inverse of SaveToBytes.
+func LoadFromBytes(data []byte) (*experiment.Scenario, error) {
+	return Load(bytes.NewReader(data), int64(len(data)))
+}

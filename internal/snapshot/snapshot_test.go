@@ -1,0 +1,131 @@
+package snapshot
+
+import (
+	"archive/zip"
+	"bytes"
+	"io"
+	"testing"
+
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/experiment"
+)
+
+func tinyScenario(t testing.TB) *experiment.Scenario {
+	t.Helper()
+	sc, err := experiment.BuildScenario("Oldenburg", 0.001, 11)
+	if err != nil {
+		t.Fatalf("BuildScenario: %v", err)
+	}
+	return sc
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sc := tinyScenario(t)
+	data, err := SaveToBytes(sc)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := LoadFromBytes(data)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Name != sc.Name || back.Scale != sc.Scale || back.Seed != sc.Seed {
+		t.Fatalf("manifest fields lost: %+v", back)
+	}
+	if back.Graph.NumNodes() != sc.Graph.NumNodes() || back.Graph.NumEdges() != sc.Graph.NumEdges() {
+		t.Fatal("graph size changed")
+	}
+	if back.Env.Chargers.Len() != sc.Env.Chargers.Len() {
+		t.Fatal("charger count changed")
+	}
+	if len(back.Trips) != len(sc.Trips) {
+		t.Fatal("trip count changed")
+	}
+	if !back.Start.Equal(sc.Start) {
+		t.Fatal("start time changed")
+	}
+
+	// The restored world must rank exactly like the original (same seeds →
+	// same forecasts; same CSVs → same geometry).
+	trip := sc.Trips[0]
+	opts := cknn.TripOptions{K: 3, SegmentLenM: 4000, RadiusM: 50000}
+	want := cknn.RunTrip(sc.Env, cknn.NewEcoCharge(sc.Env, cknn.EcoChargeOptions{}), trip, opts)
+	got := cknn.RunTrip(back.Env, cknn.NewEcoCharge(back.Env, cknn.EcoChargeOptions{}), back.Trips[0], opts)
+	if len(want) != len(got) {
+		t.Fatalf("segment counts: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i].Table.IDs(), got[i].Table.IDs()
+		for j := range w {
+			if w[j] != g[j] {
+				t.Fatalf("segment %d rank %d: %d vs %d", i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorruptArchives(t *testing.T) {
+	sc := tinyScenario(t)
+	good, err := SaveToBytes(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not a zip at all.
+	if _, err := LoadFromBytes([]byte("not a zip")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Missing member: rebuild the archive without the manifest.
+	zr, err := zip.NewReader(bytes.NewReader(good), int64(len(good)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, f := range zr.File {
+		if f.Name == "manifest.json" {
+			continue
+		}
+		w, err := zw.Create(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := f.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(w, rc); err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+	}
+	zw.Close()
+	if _, err := LoadFromBytes(buf.Bytes()); err == nil {
+		t.Error("archive without manifest accepted")
+	}
+}
+
+func TestLoadChecksIntegrity(t *testing.T) {
+	sc := tinyScenario(t)
+	good, err := SaveToBytes(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: replace the manifest with inconsistent counts.
+	zr, _ := zip.NewReader(bytes.NewReader(good), int64(len(good)))
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, f := range zr.File {
+		w, _ := zw.Create(f.Name)
+		if f.Name == "manifest.json" {
+			w.Write([]byte(`{"format_version":1,"name":"Oldenburg","nodes":1,"edges":1,"chargers":1,"trips":1}`))
+			continue
+		}
+		rc, _ := f.Open()
+		io.Copy(w, rc)
+		rc.Close()
+	}
+	zw.Close()
+	if _, err := LoadFromBytes(buf.Bytes()); err == nil {
+		t.Error("inconsistent manifest accepted")
+	}
+}

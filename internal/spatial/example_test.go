@@ -1,0 +1,24 @@
+package spatial_test
+
+import (
+	"fmt"
+
+	"ecocharge/internal/geo"
+	"ecocharge/internal/spatial"
+)
+
+// Index three chargers and find the two nearest to a query point.
+func ExampleQuadtree_KNN() {
+	bounds := geo.BBox{Min: geo.Point{Lat: 53.0, Lon: 8.0}, Max: geo.Point{Lat: 53.2, Lon: 8.4}}
+	qt := spatial.NewQuadtree(bounds, 0)
+	qt.Insert(spatial.Item{ID: 1, P: geo.Point{Lat: 53.05, Lon: 8.10}})
+	qt.Insert(spatial.Item{ID: 2, P: geo.Point{Lat: 53.10, Lon: 8.20}})
+	qt.Insert(spatial.Item{ID: 3, P: geo.Point{Lat: 53.18, Lon: 8.35}})
+
+	for _, n := range qt.KNN(geo.Point{Lat: 53.09, Lon: 8.19}, 2) {
+		fmt.Printf("charger %d at %.1f km\n", n.ID, n.Dist/1000)
+	}
+	// Output:
+	// charger 2 at 1.3 km
+	// charger 1 at 7.5 km
+}

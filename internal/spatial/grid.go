@@ -1,0 +1,197 @@
+package spatial
+
+import (
+	"math"
+
+	"ecocharge/internal/geo"
+)
+
+// Grid is a uniform in-memory grid index. kNN is answered by the iterative
+// deepening ring expansion the CkNN literature uses (Mouratidis et al.,
+// Xiong et al., §VI.B of the paper): examine the query cell, then widen the
+// search ring until k results are found whose distances are certified
+// smaller than the unexplored region's minimum distance.
+type Grid struct {
+	bounds   geo.BBox
+	cols     int
+	rows     int
+	cellLat  float64 // degrees per cell, latitude
+	cellLon  float64 // degrees per cell, longitude
+	cells    [][]Item
+	size     int
+	metersLa float64 // meters per degree latitude (constant)
+	metersLo float64 // meters per degree longitude at the region's center
+}
+
+// NewGrid returns a grid over bounds with square-ish cells of approximately
+// cellMeters on a side. cellMeters ≤ 0 selects 1000 m.
+func NewGrid(bounds geo.BBox, cellMeters float64) *Grid {
+	if cellMeters <= 0 {
+		cellMeters = 1000
+	}
+	metersLat := geo.EarthRadius * math.Pi / 180
+	metersLon := metersLat * math.Cos(bounds.Center().Lat*math.Pi/180)
+	if metersLon < 1 {
+		metersLon = 1
+	}
+	heightDeg := bounds.Max.Lat - bounds.Min.Lat
+	widthDeg := bounds.Max.Lon - bounds.Min.Lon
+	rows := int(math.Ceil(heightDeg * metersLat / cellMeters))
+	cols := int(math.Ceil(widthDeg * metersLon / cellMeters))
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	// Guard against pathological tiny cells creating huge allocations.
+	const maxCells = 1 << 22
+	for rows*cols > maxCells {
+		rows = (rows + 1) / 2
+		cols = (cols + 1) / 2
+	}
+	return &Grid{
+		bounds:   bounds,
+		cols:     cols,
+		rows:     rows,
+		cellLat:  heightDeg / float64(rows),
+		cellLon:  widthDeg / float64(cols),
+		cells:    make([][]Item, rows*cols),
+		metersLa: metersLat,
+		metersLo: metersLon,
+	}
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return g.size }
+
+// cellOf maps a point to row/col, clamping outside points to the border.
+func (g *Grid) cellOf(p geo.Point) (row, col int) {
+	if g.cellLat > 0 {
+		row = int((p.Lat - g.bounds.Min.Lat) / g.cellLat)
+	}
+	if g.cellLon > 0 {
+		col = int((p.Lon - g.bounds.Min.Lon) / g.cellLon)
+	}
+	if row < 0 {
+		row = 0
+	} else if row >= g.rows {
+		row = g.rows - 1
+	}
+	if col < 0 {
+		col = 0
+	} else if col >= g.cols {
+		col = g.cols - 1
+	}
+	return row, col
+}
+
+// Insert implements Index.
+func (g *Grid) Insert(it Item) {
+	row, col := g.cellOf(it.P)
+	idx := row*g.cols + col
+	g.cells[idx] = append(g.cells[idx], it)
+	g.size++
+}
+
+// ringMinDistance returns a lower bound in meters on the distance from p to
+// any cell in ring r (Chebyshev ring of cells around p's cell). Ring 0 is
+// the query cell itself, lower bound 0.
+func (g *Grid) ringMinDistance(r int) float64 {
+	if r <= 0 {
+		return 0
+	}
+	dLat := float64(r-1) * g.cellLat * g.metersLa
+	dLon := float64(r-1) * g.cellLon * g.metersLo
+	return math.Min(dLat, dLon)
+}
+
+// KNN implements Index via ring expansion.
+func (g *Grid) KNN(q geo.Point, k int) []Neighbor {
+	if k <= 0 || g.size == 0 {
+		return nil
+	}
+	row, col := g.cellOf(q)
+	maxRing := g.rows
+	if g.cols > maxRing {
+		maxRing = g.cols
+	}
+	var found []Neighbor
+	for r := 0; r <= maxRing; r++ {
+		// Stop when we already hold k results all closer than anything the
+		// next ring could contain.
+		if len(found) >= k {
+			sortNeighbors(found)
+			if found[k-1].Dist <= g.ringMinDistance(r) {
+				return found[:k]
+			}
+		}
+		if !g.scanRing(q, row, col, r, &found) && r > 0 && len(found) >= k {
+			break
+		}
+	}
+	sortNeighbors(found)
+	if len(found) > k {
+		found = found[:k]
+	}
+	return found
+}
+
+// scanRing appends all items of Chebyshev ring r around (row, col) to out.
+// It reports whether any cell of the ring was inside the grid.
+func (g *Grid) scanRing(q geo.Point, row, col, r int, out *[]Neighbor) bool {
+	touched := false
+	visit := func(rr, cc int) {
+		if rr < 0 || rr >= g.rows || cc < 0 || cc >= g.cols {
+			return
+		}
+		touched = true
+		for _, it := range g.cells[rr*g.cols+cc] {
+			*out = append(*out, Neighbor{Item: it, Dist: geo.Distance(q, it.P)})
+		}
+	}
+	if r == 0 {
+		visit(row, col)
+		return touched
+	}
+	for cc := col - r; cc <= col+r; cc++ {
+		visit(row-r, cc)
+		visit(row+r, cc)
+	}
+	for rr := row - r + 1; rr <= row+r-1; rr++ {
+		visit(rr, col-r)
+		visit(rr, col+r)
+	}
+	return touched
+}
+
+// Within implements Index by scanning the rings that can reach radius.
+func (g *Grid) Within(q geo.Point, radius float64) []Neighbor {
+	if g.size == 0 || radius < 0 {
+		return nil
+	}
+	row, col := g.cellOf(q)
+	cellMeters := math.Min(g.cellLat*g.metersLa, g.cellLon*g.metersLo)
+	maxRing := g.rows + g.cols
+	if cellMeters > 0 {
+		maxRing = int(radius/cellMeters) + 2
+	}
+	var all []Neighbor
+	for r := 0; r <= maxRing; r++ {
+		if g.ringMinDistance(r) > radius {
+			break
+		}
+		g.scanRing(q, row, col, r, &all)
+	}
+	out := all[:0]
+	for _, n := range all {
+		if n.Dist <= radius {
+			out = append(out, n)
+		}
+	}
+	sortNeighbors(out)
+	return out
+}
+
+// Dims reports rows and cols, exposed for tests and diagnostics.
+func (g *Grid) Dims() (rows, cols int) { return g.rows, g.cols }

@@ -1,0 +1,233 @@
+package spatial
+
+import (
+	"container/heap"
+
+	"ecocharge/internal/geo"
+)
+
+// Quadtree is a point quadtree over a fixed bounding region, the
+// "Index-Quadtree Method" of the paper's evaluation: it partitions 2-D
+// space so that candidate retrieval drops from O(n) scans to O(log n)
+// descents. Leaves split once they exceed their capacity; points exactly on
+// split lines go to the south/west child deterministically.
+type Quadtree struct {
+	root     *qnode
+	bounds   geo.BBox
+	capacity int
+	size     int
+}
+
+const defaultLeafCapacity = 16
+
+type qnode struct {
+	bounds   geo.BBox
+	items    []Item // leaf payload; nil after split
+	children *[4]qnode
+}
+
+// NewQuadtree returns a quadtree covering bounds. Items inserted outside
+// bounds are clamped into it (the generators always stay inside, but the
+// index must not corrupt itself on stray GPS points). leafCapacity ≤ 0
+// selects the default of 16.
+func NewQuadtree(bounds geo.BBox, leafCapacity int) *Quadtree {
+	if leafCapacity <= 0 {
+		leafCapacity = defaultLeafCapacity
+	}
+	return &Quadtree{
+		root:     &qnode{bounds: bounds},
+		bounds:   bounds,
+		capacity: leafCapacity,
+	}
+}
+
+// Bounds returns the region the tree covers.
+func (t *Quadtree) Bounds() geo.BBox { return t.bounds }
+
+// Len implements Index.
+func (t *Quadtree) Len() int { return t.size }
+
+// Insert implements Index.
+func (t *Quadtree) Insert(it Item) {
+	if !t.bounds.Contains(it.P) {
+		it.P = clampInto(it.P, t.bounds)
+	}
+	t.insert(t.root, it, 0)
+	t.size++
+}
+
+// maxDepth bounds subdivision so that many co-located points cannot recurse
+// forever; beyond it leaves simply grow.
+const maxDepth = 24
+
+func (t *Quadtree) insert(n *qnode, it Item, depth int) {
+	for {
+		if n.children == nil {
+			n.items = append(n.items, it)
+			if len(n.items) > t.capacity && depth < maxDepth {
+				t.split(n)
+				// Fall through to redistribute: items were moved already.
+			}
+			return
+		}
+		n = &n.children[childIndex(n.bounds, it.P)]
+		depth++
+	}
+}
+
+func (t *Quadtree) split(n *qnode) {
+	c := n.bounds.Center()
+	var ch [4]qnode
+	// Quadrants: 0=SW 1=SE 2=NW 3=NE.
+	ch[0].bounds = geo.BBox{Min: n.bounds.Min, Max: c}
+	ch[1].bounds = geo.BBox{Min: geo.Point{Lat: n.bounds.Min.Lat, Lon: c.Lon}, Max: geo.Point{Lat: c.Lat, Lon: n.bounds.Max.Lon}}
+	ch[2].bounds = geo.BBox{Min: geo.Point{Lat: c.Lat, Lon: n.bounds.Min.Lon}, Max: geo.Point{Lat: n.bounds.Max.Lat, Lon: c.Lon}}
+	ch[3].bounds = geo.BBox{Min: c, Max: n.bounds.Max}
+	n.children = &ch
+	items := n.items
+	n.items = nil
+	for _, it := range items {
+		child := &n.children[childIndex(n.bounds, it.P)]
+		child.items = append(child.items, it)
+	}
+}
+
+func childIndex(b geo.BBox, p geo.Point) int {
+	c := b.Center()
+	idx := 0
+	if p.Lon >= c.Lon {
+		idx |= 1
+	}
+	if p.Lat >= c.Lat {
+		idx |= 2
+	}
+	return idx
+}
+
+func clampInto(p geo.Point, b geo.BBox) geo.Point {
+	if p.Lat < b.Min.Lat {
+		p.Lat = b.Min.Lat
+	} else if p.Lat > b.Max.Lat {
+		p.Lat = b.Max.Lat
+	}
+	if p.Lon < b.Min.Lon {
+		p.Lon = b.Min.Lon
+	} else if p.Lon > b.Max.Lon {
+		p.Lon = b.Max.Lon
+	}
+	return p
+}
+
+// qentry is a priority-queue element for the best-first kNN search: either
+// a subtree (lower-bounded by box distance) or a concrete item.
+type qentry struct {
+	dist float64
+	node *qnode // nil for concrete items
+	item Item
+}
+
+type qpq []qentry
+
+func (q qpq) Len() int            { return len(q) }
+func (q qpq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q qpq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *qpq) Push(x interface{}) { *q = append(*q, x.(qentry)) }
+func (q *qpq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// KNN implements Index with a best-first search: subtrees are expanded in
+// order of their minimum possible distance, so the first k concrete items
+// popped are exactly the k nearest.
+func (t *Quadtree) KNN(q geo.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	pq := qpq{{dist: t.root.bounds.DistanceTo(q), node: t.root}}
+	heap.Init(&pq)
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		e := heap.Pop(&pq).(qentry)
+		if e.node == nil {
+			out = append(out, Neighbor{Item: e.item, Dist: e.dist})
+			continue
+		}
+		n := e.node
+		if n.children != nil {
+			for i := range n.children {
+				c := &n.children[i]
+				heap.Push(&pq, qentry{dist: c.bounds.DistanceTo(q), node: c})
+			}
+			continue
+		}
+		for _, it := range n.items {
+			heap.Push(&pq, qentry{dist: geo.Distance(q, it.P), item: it})
+		}
+	}
+	stabilizeTies(out)
+	return out
+}
+
+// stabilizeTies re-orders equal-distance runs by ID so results are
+// deterministic regardless of heap pop order.
+func stabilizeTies(ns []Neighbor) {
+	i := 0
+	for i < len(ns) {
+		j := i + 1
+		for j < len(ns) && ns[j].Dist == ns[i].Dist {
+			j++
+		}
+		if j-i > 1 {
+			sub := ns[i:j]
+			sortNeighbors(sub)
+		}
+		i = j
+	}
+}
+
+// Within implements Index by pruning subtrees farther than radius.
+func (t *Quadtree) Within(q geo.Point, radius float64) []Neighbor {
+	var out []Neighbor
+	var walk func(n *qnode)
+	walk = func(n *qnode) {
+		if n.bounds.DistanceTo(q) > radius {
+			return
+		}
+		if n.children != nil {
+			for i := range n.children {
+				walk(&n.children[i])
+			}
+			return
+		}
+		for _, it := range n.items {
+			if d := geo.Distance(q, it.P); d <= radius {
+				out = append(out, Neighbor{Item: it, Dist: d})
+			}
+		}
+	}
+	walk(t.root)
+	sortNeighbors(out)
+	return out
+}
+
+// Depth returns the height of the tree, exposed for diagnostics and tests.
+func (t *Quadtree) Depth() int {
+	var walk func(n *qnode) int
+	walk = func(n *qnode) int {
+		if n.children == nil {
+			return 1
+		}
+		max := 0
+		for i := range n.children {
+			if d := walk(&n.children[i]); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return walk(t.root)
+}

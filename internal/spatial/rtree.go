@@ -1,0 +1,279 @@
+package spatial
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"ecocharge/internal/geo"
+)
+
+// RTree is a static R-tree bulk-loaded with the Sort-Tile-Recursive (STR)
+// packing algorithm. The moving-object kNN literature the paper builds on
+// (Tao et al., Benetis et al., §VI.B) indexes with R-trees; this
+// implementation provides the same best-first kNN and range search over a
+// point set, optimized for the load-once/query-forever pattern of the
+// charger inventory.
+//
+// Unlike Quadtree and Grid, RTree does not support incremental Insert
+// after Bulk loading completes cheaply — Insert falls back to a simple
+// node-expansion strategy adequate for occasional additions.
+type RTree struct {
+	root *rnode
+	size int
+	fan  int
+}
+
+const defaultRTreeFan = 16
+
+type rnode struct {
+	bounds   geo.BBox
+	leaf     bool
+	items    []Item   // leaf payload
+	children []*rnode // internal payload
+}
+
+// NewRTree bulk-loads the items with STR packing. fan ≤ 1 selects the
+// default fanout of 16.
+func NewRTree(items []Item, fan int) *RTree {
+	if fan <= 1 {
+		fan = defaultRTreeFan
+	}
+	t := &RTree{fan: fan}
+	t.Bulk(items)
+	return t
+}
+
+// Bulk replaces the tree's contents with the STR packing of items.
+func (t *RTree) Bulk(items []Item) {
+	t.size = len(items)
+	if len(items) == 0 {
+		t.root = nil
+		return
+	}
+	leaves := t.packLeaves(items)
+	t.root = t.packUp(leaves)
+}
+
+// packLeaves sorts by longitude, tiles into vertical slices, sorts each
+// slice by latitude, and cuts leaf nodes of up to fan items.
+func (t *RTree) packLeaves(items []Item) []*rnode {
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].P.Lon != sorted[j].P.Lon {
+			return sorted[i].P.Lon < sorted[j].P.Lon
+		}
+		return sorted[i].P.Lat < sorted[j].P.Lat
+	})
+	leafCount := (len(sorted) + t.fan - 1) / t.fan
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	if sliceCount < 1 {
+		sliceCount = 1
+	}
+	perSlice := sliceCount * t.fan
+
+	var leaves []*rnode
+	for start := 0; start < len(sorted); start += perSlice {
+		end := start + perSlice
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		slice := sorted[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			if slice[i].P.Lat != slice[j].P.Lat {
+				return slice[i].P.Lat < slice[j].P.Lat
+			}
+			return slice[i].P.Lon < slice[j].P.Lon
+		})
+		for ls := 0; ls < len(slice); ls += t.fan {
+			le := ls + t.fan
+			if le > len(slice) {
+				le = len(slice)
+			}
+			leaf := &rnode{leaf: true, items: append([]Item(nil), slice[ls:le]...)}
+			leaf.bounds = itemsBounds(leaf.items)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packUp builds internal levels until a single root remains.
+func (t *RTree) packUp(nodes []*rnode) *rnode {
+	for len(nodes) > 1 {
+		sort.Slice(nodes, func(i, j int) bool {
+			ci, cj := nodes[i].bounds.Center(), nodes[j].bounds.Center()
+			if ci.Lon != cj.Lon {
+				return ci.Lon < cj.Lon
+			}
+			return ci.Lat < cj.Lat
+		})
+		var level []*rnode
+		for start := 0; start < len(nodes); start += t.fan {
+			end := start + t.fan
+			if end > len(nodes) {
+				end = len(nodes)
+			}
+			n := &rnode{children: append([]*rnode(nil), nodes[start:end]...)}
+			n.bounds = nodes[start].bounds
+			for _, c := range n.children[1:] {
+				n.bounds = n.bounds.Union(c.bounds)
+			}
+			level = append(level, n)
+		}
+		nodes = level
+	}
+	return nodes[0]
+}
+
+func itemsBounds(items []Item) geo.BBox {
+	b := geo.BBox{Min: items[0].P, Max: items[0].P}
+	for _, it := range items[1:] {
+		b = b.Extend(it.P)
+	}
+	return b
+}
+
+// Len implements Index.
+func (t *RTree) Len() int { return t.size }
+
+// Insert implements Index with a least-enlargement descent; the tree stays
+// correct but packing quality degrades under heavy incremental insertion
+// (re-Bulk for that).
+func (t *RTree) Insert(it Item) {
+	t.size++
+	if t.root == nil {
+		t.root = &rnode{leaf: true, items: []Item{it}, bounds: geo.BBox{Min: it.P, Max: it.P}}
+		return
+	}
+	n := t.root
+	var path []*rnode
+	for !n.leaf {
+		path = append(path, n)
+		best := n.children[0]
+		bestGrow := math.Inf(1)
+		for _, c := range n.children {
+			grown := c.bounds.Extend(it.P)
+			grow := bboxArea(grown) - bboxArea(c.bounds)
+			if grow < bestGrow {
+				bestGrow = grow
+				best = c
+			}
+		}
+		n = best
+	}
+	n.items = append(n.items, it)
+	n.bounds = n.bounds.Extend(it.P)
+	for _, p := range path {
+		p.bounds = p.bounds.Extend(it.P)
+	}
+	// Split an overfull leaf in place by latitude median.
+	if len(n.items) > 2*t.fan {
+		t.splitLeaf(n)
+	}
+}
+
+func (t *RTree) splitLeaf(n *rnode) {
+	sort.Slice(n.items, func(i, j int) bool { return n.items[i].P.Lat < n.items[j].P.Lat })
+	mid := len(n.items) / 2
+	left := &rnode{leaf: true, items: append([]Item(nil), n.items[:mid]...)}
+	right := &rnode{leaf: true, items: append([]Item(nil), n.items[mid:]...)}
+	left.bounds = itemsBounds(left.items)
+	right.bounds = itemsBounds(right.items)
+	n.leaf = false
+	n.items = nil
+	n.children = []*rnode{left, right}
+}
+
+func bboxArea(b geo.BBox) float64 {
+	return (b.Max.Lat - b.Min.Lat) * (b.Max.Lon - b.Min.Lon)
+}
+
+// rentry is the best-first queue element.
+type rentry struct {
+	dist float64
+	node *rnode
+	item Item
+}
+
+type rpq []rentry
+
+func (q rpq) Len() int            { return len(q) }
+func (q rpq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q rpq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *rpq) Push(x interface{}) { *q = append(*q, x.(rentry)) }
+func (q *rpq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// KNN implements Index with the classic best-first R-tree search.
+func (t *RTree) KNN(q geo.Point, k int) []Neighbor {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	pq := rpq{{dist: t.root.bounds.DistanceTo(q), node: t.root}}
+	heap.Init(&pq)
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		e := heap.Pop(&pq).(rentry)
+		switch {
+		case e.node == nil:
+			out = append(out, Neighbor{Item: e.item, Dist: e.dist})
+		case e.node.leaf:
+			for _, it := range e.node.items {
+				heap.Push(&pq, rentry{dist: geo.Distance(q, it.P), item: it})
+			}
+		default:
+			for _, c := range e.node.children {
+				heap.Push(&pq, rentry{dist: c.bounds.DistanceTo(q), node: c})
+			}
+		}
+	}
+	stabilizeTies(out)
+	return out
+}
+
+// Within implements Index by pruning subtrees beyond the radius.
+func (t *RTree) Within(q geo.Point, radius float64) []Neighbor {
+	if t.root == nil || radius < 0 {
+		return nil
+	}
+	var out []Neighbor
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if n.bounds.DistanceTo(q) > radius {
+			return
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				if d := geo.Distance(q, it.P); d <= radius {
+					out = append(out, Neighbor{Item: it, Dist: d})
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sortNeighbors(out)
+	return out
+}
+
+// Height returns the tree height, exposed for tests.
+func (t *RTree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}

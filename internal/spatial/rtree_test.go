@@ -1,0 +1,134 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecocharge/internal/geo"
+)
+
+func TestRTreeAgreesWithBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	items := randomItems(r, 700)
+	bf := NewBruteForce()
+	for _, it := range items {
+		bf.Insert(it)
+	}
+	rt := NewRTree(items, 0)
+	if rt.Len() != len(items) {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	for trial := 0; trial < 80; trial++ {
+		q := geo.Point{
+			Lat: testBounds.Min.Lat + r.Float64()*0.4,
+			Lon: testBounds.Min.Lon + r.Float64()*0.6,
+		}
+		for _, k := range []int{1, 5, 25} {
+			want := bf.KNN(q, k)
+			if got := rt.KNN(q, k); !neighborsEqual(got, want) {
+				t.Fatalf("trial %d k=%d: rtree KNN mismatch", trial, k)
+			}
+		}
+		for _, radius := range []float64{800, 5000} {
+			want := bf.Within(q, radius)
+			if got := rt.Within(q, radius); !neighborsEqual(got, want) {
+				t.Fatalf("trial %d r=%.0f: rtree Within mismatch (%d vs %d)", trial, radius, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestRTreeEmptyAndDegenerate(t *testing.T) {
+	rt := NewRTree(nil, 8)
+	if rt.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	if got := rt.KNN(testBounds.Center(), 3); got != nil {
+		t.Errorf("empty KNN = %v", got)
+	}
+	if got := rt.Within(testBounds.Center(), 1000); got != nil {
+		t.Errorf("empty Within = %v", got)
+	}
+	// Single item.
+	rt.Bulk([]Item{{P: testBounds.Center(), ID: 1}})
+	if got := rt.KNN(testBounds.Center(), 5); len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("single-item KNN = %v", got)
+	}
+	if got := rt.Within(testBounds.Center(), -1); got != nil {
+		t.Errorf("negative radius = %v", got)
+	}
+}
+
+func TestRTreeCoLocatedPoints(t *testing.T) {
+	p := testBounds.Center()
+	items := make([]Item, 64)
+	for i := range items {
+		items[i] = Item{P: p, ID: int64(i)}
+	}
+	rt := NewRTree(items, 4)
+	got := rt.KNN(p, 64)
+	if len(got) != 64 {
+		t.Fatalf("KNN returned %d of 64 co-located points", len(got))
+	}
+	for i, n := range got {
+		if n.ID != int64(i) {
+			t.Fatalf("tie order broken at %d", i)
+		}
+	}
+}
+
+func TestRTreeIncrementalInsert(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	base := randomItems(r, 200)
+	extra := randomItems(r, 100)
+	for i := range extra {
+		extra[i].ID += 1000
+	}
+	rt := NewRTree(base, 8)
+	bf := NewBruteForce()
+	for _, it := range base {
+		bf.Insert(it)
+	}
+	for _, it := range extra {
+		rt.Insert(it)
+		bf.Insert(it)
+	}
+	if rt.Len() != 300 {
+		t.Fatalf("Len after inserts = %d", rt.Len())
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := geo.Point{
+			Lat: testBounds.Min.Lat + r.Float64()*0.4,
+			Lon: testBounds.Min.Lon + r.Float64()*0.6,
+		}
+		want := bf.KNN(q, 10)
+		if got := rt.KNN(q, 10); !neighborsEqual(got, want) {
+			t.Fatalf("trial %d: post-insert KNN mismatch", trial)
+		}
+	}
+	// Insert into an empty tree.
+	empty := NewRTree(nil, 8)
+	empty.Insert(Item{P: testBounds.Center(), ID: 7})
+	if got := empty.KNN(testBounds.Center(), 1); len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("insert into empty tree: %v", got)
+	}
+}
+
+func TestRTreeHeightLogarithmic(t *testing.T) {
+	items := randomItems(rand.New(rand.NewSource(41)), 4096)
+	rt := NewRTree(items, 16)
+	// fan 16 over 4096 items: 256 leaves, height ≤ 4 (leaf + up to 3 internal).
+	if h := rt.Height(); h > 4 {
+		t.Errorf("height %d too tall for STR packing", h)
+	}
+}
+
+func BenchmarkRTreeKNN(b *testing.B) {
+	items := randomItems(rand.New(rand.NewSource(5)), 10000)
+	rt := NewRTree(items, 0)
+	q := testBounds.Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.KNN(q, 10)
+	}
+}

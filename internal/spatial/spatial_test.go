@@ -1,0 +1,278 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecocharge/internal/geo"
+)
+
+var testBounds = geo.BBox{
+	Min: geo.Point{Lat: 53.0, Lon: 8.0},
+	Max: geo.Point{Lat: 53.4, Lon: 8.6},
+}
+
+func randomItems(r *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID: int64(i),
+			P: geo.Point{
+				Lat: testBounds.Min.Lat + r.Float64()*(testBounds.Max.Lat-testBounds.Min.Lat),
+				Lon: testBounds.Min.Lon + r.Float64()*(testBounds.Max.Lon-testBounds.Min.Lon),
+			},
+		}
+	}
+	return items
+}
+
+func buildAll(items []Item) (bf *BruteForce, qt *Quadtree, gr *Grid) {
+	bf = NewBruteForce()
+	qt = NewQuadtree(testBounds, 8)
+	gr = NewGrid(testBounds, 2000)
+	for _, it := range items {
+		bf.Insert(it)
+		qt.Insert(it)
+		gr.Insert(it)
+	}
+	return bf, qt, gr
+}
+
+func neighborsEqual(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexesAgreeWithBruteForceKNN(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	items := randomItems(r, 500)
+	bf, qt, gr := buildAll(items)
+
+	for trial := 0; trial < 100; trial++ {
+		q := geo.Point{
+			Lat: testBounds.Min.Lat + r.Float64()*0.4,
+			Lon: testBounds.Min.Lon + r.Float64()*0.6,
+		}
+		for _, k := range []int{1, 3, 10, 50} {
+			want := bf.KNN(q, k)
+			if got := qt.KNN(q, k); !neighborsEqual(got, want) {
+				t.Fatalf("trial %d k=%d: quadtree KNN mismatch\n got=%v\nwant=%v", trial, k, got, want)
+			}
+			if got := gr.KNN(q, k); !neighborsEqual(got, want) {
+				t.Fatalf("trial %d k=%d: grid KNN mismatch\n got=%v\nwant=%v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexesAgreeWithBruteForceWithin(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	items := randomItems(r, 400)
+	bf, qt, gr := buildAll(items)
+
+	for trial := 0; trial < 50; trial++ {
+		q := geo.Point{
+			Lat: testBounds.Min.Lat + r.Float64()*0.4,
+			Lon: testBounds.Min.Lon + r.Float64()*0.6,
+		}
+		for _, radius := range []float64{500, 3000, 15000} {
+			want := bf.Within(q, radius)
+			if got := qt.Within(q, radius); !neighborsEqual(got, want) {
+				t.Fatalf("trial %d r=%.0f: quadtree Within mismatch: got %d want %d", trial, radius, len(got), len(want))
+			}
+			if got := gr.Within(q, radius); !neighborsEqual(got, want) {
+				t.Fatalf("trial %d r=%.0f: grid Within mismatch: got %d want %d", trial, radius, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestKNNMoreThanAvailable(t *testing.T) {
+	items := randomItems(rand.New(rand.NewSource(1)), 5)
+	_, qt, gr := buildAll(items)
+	q := testBounds.Center()
+	if got := qt.KNN(q, 10); len(got) != 5 {
+		t.Errorf("quadtree KNN k>n returned %d items, want 5", len(got))
+	}
+	if got := gr.KNN(q, 10); len(got) != 5 {
+		t.Errorf("grid KNN k>n returned %d items, want 5", len(got))
+	}
+}
+
+func TestKNNEmptyAndZeroK(t *testing.T) {
+	qt := NewQuadtree(testBounds, 0)
+	gr := NewGrid(testBounds, 0)
+	bf := NewBruteForce()
+	q := testBounds.Center()
+	for name, idx := range map[string]Index{"quadtree": qt, "grid": gr, "bruteforce": bf} {
+		if got := idx.KNN(q, 3); len(got) != 0 {
+			t.Errorf("%s: empty index KNN = %v, want none", name, got)
+		}
+	}
+	qt.Insert(Item{P: q, ID: 1})
+	if got := qt.KNN(q, 0); got != nil {
+		t.Errorf("k=0 KNN = %v, want nil", got)
+	}
+}
+
+func TestQuadtreeDuplicatePointsSplitSafely(t *testing.T) {
+	qt := NewQuadtree(testBounds, 2)
+	p := testBounds.Center()
+	for i := 0; i < 100; i++ {
+		qt.Insert(Item{P: p, ID: int64(i)})
+	}
+	if qt.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", qt.Len())
+	}
+	got := qt.KNN(p, 100)
+	if len(got) != 100 {
+		t.Fatalf("KNN on 100 co-located points returned %d", len(got))
+	}
+	// Ties must come back in ID order.
+	for i, n := range got {
+		if n.ID != int64(i) {
+			t.Fatalf("tie order broken at %d: ID %d", i, n.ID)
+		}
+	}
+	if d := qt.Depth(); d > maxDepth+1 {
+		t.Errorf("depth %d exceeded maxDepth bound", d)
+	}
+}
+
+func TestQuadtreeClampsOutOfBounds(t *testing.T) {
+	qt := NewQuadtree(testBounds, 4)
+	stray := geo.Point{Lat: 60.0, Lon: 20.0} // far outside
+	qt.Insert(Item{P: stray, ID: 99})
+	got := qt.KNN(testBounds.Max, 1)
+	if len(got) != 1 || got[0].ID != 99 {
+		t.Fatalf("stray point not retrievable: %v", got)
+	}
+	if !testBounds.Contains(got[0].P) {
+		t.Errorf("stray point not clamped into bounds: %v", got[0].P)
+	}
+}
+
+func TestWithinRadiusBoundaryInclusive(t *testing.T) {
+	bf := NewBruteForce()
+	center := testBounds.Center()
+	target := geo.Destination(center, 90, 1000)
+	bf.Insert(Item{P: target, ID: 1})
+	d := geo.Distance(center, target)
+	if got := bf.Within(center, d); len(got) != 1 {
+		t.Errorf("point exactly at radius excluded")
+	}
+	if got := bf.Within(center, d-1); len(got) != 0 {
+		t.Errorf("point beyond radius included")
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	g := NewGrid(testBounds, 2000)
+	rows, cols := g.Dims()
+	if rows < 10 || cols < 10 {
+		t.Errorf("grid dims %dx%d too coarse for 2km cells over ~44x40km", rows, cols)
+	}
+	// Degenerate box must still produce at least one cell.
+	g2 := NewGrid(geo.BBox{Min: testBounds.Min, Max: testBounds.Min}, 1000)
+	r2, c2 := g2.Dims()
+	if r2 < 1 || c2 < 1 {
+		t.Errorf("degenerate grid dims %dx%d", r2, c2)
+	}
+	g2.Insert(Item{P: testBounds.Min, ID: 1})
+	if got := g2.KNN(testBounds.Min, 1); len(got) != 1 {
+		t.Errorf("degenerate grid KNN failed: %v", got)
+	}
+}
+
+func TestWithinNegativeRadius(t *testing.T) {
+	_, qt, gr := buildAll(randomItems(rand.New(rand.NewSource(3)), 50))
+	q := testBounds.Center()
+	if got := gr.Within(q, -1); len(got) != 0 {
+		t.Errorf("grid negative radius returned %d items", len(got))
+	}
+	if got := qt.Within(q, -1); len(got) != 0 {
+		t.Errorf("quadtree negative radius returned %d items", len(got))
+	}
+}
+
+func TestClusteredDistribution(t *testing.T) {
+	// Heavy clustering stresses quadtree splitting and grid ring logic.
+	r := rand.New(rand.NewSource(11))
+	var items []Item
+	id := int64(0)
+	for c := 0; c < 5; c++ {
+		cLat := testBounds.Min.Lat + r.Float64()*0.4
+		cLon := testBounds.Min.Lon + r.Float64()*0.6
+		for i := 0; i < 200; i++ {
+			items = append(items, Item{
+				ID: id,
+				P:  geo.Point{Lat: cLat + r.NormFloat64()*0.002, Lon: cLon + r.NormFloat64()*0.002},
+			})
+			id++
+		}
+	}
+	// Clamp any wandering normal samples back into bounds for the oracle.
+	for i := range items {
+		items[i].P = clampInto(items[i].P, testBounds)
+	}
+	bf, qt, gr := buildAll(items)
+	for trial := 0; trial < 30; trial++ {
+		q := geo.Point{
+			Lat: testBounds.Min.Lat + r.Float64()*0.4,
+			Lon: testBounds.Min.Lon + r.Float64()*0.6,
+		}
+		want := bf.KNN(q, 20)
+		if got := qt.KNN(q, 20); !neighborsEqual(got, want) {
+			t.Fatalf("clustered quadtree mismatch at trial %d", trial)
+		}
+		if got := gr.KNN(q, 20); !neighborsEqual(got, want) {
+			t.Fatalf("clustered grid mismatch at trial %d", trial)
+		}
+	}
+}
+
+func BenchmarkQuadtreeKNN(b *testing.B) {
+	items := randomItems(rand.New(rand.NewSource(5)), 10000)
+	qt := NewQuadtree(testBounds, 0)
+	for _, it := range items {
+		qt.Insert(it)
+	}
+	q := testBounds.Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qt.KNN(q, 10)
+	}
+}
+
+func BenchmarkGridKNN(b *testing.B) {
+	items := randomItems(rand.New(rand.NewSource(5)), 10000)
+	gr := NewGrid(testBounds, 1000)
+	for _, it := range items {
+		gr.Insert(it)
+	}
+	q := testBounds.Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gr.KNN(q, 10)
+	}
+}
+
+func BenchmarkBruteForceKNN(b *testing.B) {
+	items := randomItems(rand.New(rand.NewSource(5)), 10000)
+	bf := NewBruteForce()
+	for _, it := range items {
+		bf.Insert(it)
+	}
+	q := testBounds.Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bf.KNN(q, 10)
+	}
+}

@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryPercentilesOrdered(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6}
+	s := Summarize(xs)
+	if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("percentiles unordered: %+v", s)
+	}
+}
+
+func TestStdDevConstantSeries(t *testing.T) {
+	xs := []float64{4, 4, 4, 4}
+	if sd := StdDev(xs); sd != 0 {
+		t.Fatalf("constant series stddev = %v", sd)
+	}
+}
+
+func TestMeanLargeValuesStable(t *testing.T) {
+	xs := []float64{1e15, 1e15 + 2, 1e15 + 4}
+	if m := Mean(xs); math.Abs(m-(1e15+2)) > 1 {
+		t.Fatalf("mean of large values = %v", m)
+	}
+}
+
+func TestPercentileSingleElement(t *testing.T) {
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Fatalf("P%v of singleton = %v", p, got)
+		}
+	}
+}

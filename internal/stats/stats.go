@@ -1,0 +1,110 @@
+// Package stats provides the small statistics helpers the experiment
+// harness uses to report mean ± standard deviation over the ~10 repetitions
+// the paper's evaluation performs.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator), or 0 for
+// fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation between closest ranks, or 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Min returns the minimum, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary bundles the descriptive statistics of one measurement series.
+type Summary struct {
+	N             int
+	Mean, StdDev  float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes a Summary in one pass over the helpers above.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		P50:    Percentile(xs, 50),
+		P95:    Percentile(xs, 95),
+		P99:    Percentile(xs, 99),
+	}
+}

@@ -1,0 +1,80 @@
+package trajectory
+
+import (
+	"time"
+
+	"ecocharge/internal/geo"
+)
+
+// IdlePeriod is a hoarding opportunity: a stretch of a trajectory where
+// the vehicle stayed within a small radius for a while — the taxi waiting
+// for a ride, the parent at after-school practice, the shopper at the
+// mall (paper §I). EcoCharge targets exactly these windows.
+type IdlePeriod struct {
+	// Center is the mean position of the idle samples.
+	Center geo.Point
+	// Start and End bound the window.
+	Start, End time.Time
+	// Samples is how many trajectory points the window covers.
+	Samples int
+}
+
+// Duration returns the window length.
+func (ip IdlePeriod) Duration() time.Duration { return ip.End.Sub(ip.Start) }
+
+// IdleConfig tunes detection.
+type IdleConfig struct {
+	// MinDuration is the shortest stay that counts as idle. 0 selects
+	// 10 minutes (enough for a meaningful AC hoarding session).
+	MinDuration time.Duration
+	// MaxRadiusM bounds how far samples may wander around the window's
+	// anchor while still counting as "staying". 0 selects 150 m.
+	MaxRadiusM float64
+}
+
+func (c IdleConfig) withDefaults() IdleConfig {
+	if c.MinDuration <= 0 {
+		c.MinDuration = 10 * time.Minute
+	}
+	if c.MaxRadiusM <= 0 {
+		c.MaxRadiusM = 150
+	}
+	return c
+}
+
+// DetectIdlePeriods scans the trajectory for hoarding opportunities: it
+// greedily grows windows anchored at each candidate sample while all
+// samples stay within MaxRadiusM of the anchor, and keeps windows lasting
+// at least MinDuration. Windows never overlap; scanning resumes after
+// each detected window.
+func DetectIdlePeriods(tr Trajectory, cfg IdleConfig) []IdlePeriod {
+	cfg = cfg.withDefaults()
+	pts := tr.Points
+	var out []IdlePeriod
+	i := 0
+	for i < len(pts) {
+		anchor := pts[i].P
+		j := i + 1
+		for j < len(pts) && geo.Distance(anchor, pts[j].P) <= cfg.MaxRadiusM {
+			j++
+		}
+		if pts[j-1].T.Sub(pts[i].T) >= cfg.MinDuration {
+			var latSum, lonSum float64
+			for _, p := range pts[i:j] {
+				latSum += p.P.Lat
+				lonSum += p.P.Lon
+			}
+			n := float64(j - i)
+			out = append(out, IdlePeriod{
+				Center:  geo.Point{Lat: latSum / n, Lon: lonSum / n},
+				Start:   pts[i].T,
+				End:     pts[j-1].T,
+				Samples: j - i,
+			})
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package trajectory
+
+import (
+	"testing"
+	"time"
+
+	"ecocharge/internal/geo"
+)
+
+// mkIdleTrajectory builds: drive east, park 30 min, drive east again.
+func mkIdleTrajectory(parkMin int) Trajectory {
+	tr := Trajectory{ID: 1}
+	at := t0
+	p := geo.Point{Lat: 53.10, Lon: 8.20}
+	emit := func() {
+		tr.Points = append(tr.Points, TimedPoint{P: p, T: at})
+	}
+	// Drive: 10 samples, 300 m apart, 30 s apart.
+	for i := 0; i < 10; i++ {
+		emit()
+		p = geo.Destination(p, 90, 300)
+		at = at.Add(30 * time.Second)
+	}
+	// Park: samples every minute with ±20 m GPS jitter.
+	base := p
+	for i := 0; i < parkMin; i++ {
+		p = geo.Destination(base, float64(i*73%360), 20)
+		emit()
+		at = at.Add(time.Minute)
+	}
+	p = base
+	// Drive again.
+	for i := 0; i < 10; i++ {
+		emit()
+		p = geo.Destination(p, 90, 300)
+		at = at.Add(30 * time.Second)
+	}
+	return tr
+}
+
+func TestDetectIdlePeriods(t *testing.T) {
+	tr := mkIdleTrajectory(30)
+	got := DetectIdlePeriods(tr, IdleConfig{})
+	if len(got) != 1 {
+		t.Fatalf("detected %d idle periods, want 1", len(got))
+	}
+	ip := got[0]
+	if d := ip.Duration(); d < 25*time.Minute || d > 35*time.Minute {
+		t.Errorf("idle duration %v, want ~29min", d)
+	}
+	if ip.Samples < 25 {
+		t.Errorf("idle covers %d samples", ip.Samples)
+	}
+	// Center near the parking spot (within the jitter radius).
+	park := tr.Points[10].P
+	if d := geo.Distance(ip.Center, park); d > 100 {
+		t.Errorf("center %v is %.0f m from the parking spot", ip.Center, d)
+	}
+}
+
+func TestDetectIdleRespectsMinDuration(t *testing.T) {
+	tr := mkIdleTrajectory(5) // 5-minute stop
+	if got := DetectIdlePeriods(tr, IdleConfig{MinDuration: 10 * time.Minute}); len(got) != 0 {
+		t.Fatalf("5-minute stop detected with a 10-minute threshold: %v", got)
+	}
+	if got := DetectIdlePeriods(tr, IdleConfig{MinDuration: 3 * time.Minute}); len(got) != 1 {
+		t.Fatalf("5-minute stop missed with a 3-minute threshold")
+	}
+}
+
+func TestDetectIdleMovingTrajectory(t *testing.T) {
+	// Constant driving: no idle windows at all.
+	g := smallGraph(t)
+	trip := genTrips(t, g, 1)[0]
+	tr := Sample(g, trip, 30*time.Second)
+	if got := DetectIdlePeriods(tr, IdleConfig{}); len(got) != 0 {
+		t.Fatalf("moving trajectory produced idle periods: %v", got)
+	}
+}
+
+func TestDetectIdleMultipleStops(t *testing.T) {
+	a := mkIdleTrajectory(20)
+	// Append a second trajectory's points shifted in time and space to
+	// create a second stop.
+	b := mkIdleTrajectory(15)
+	offset := a.Points[len(a.Points)-1].T.Sub(t0) + time.Minute
+	shift := geo.Distance(a.Points[0].P, a.Points[len(a.Points)-1].P) + 1000
+	for _, p := range b.Points {
+		a.Points = append(a.Points, TimedPoint{
+			P: geo.Destination(p.P, 90, shift),
+			T: p.T.Add(offset),
+		})
+	}
+	got := DetectIdlePeriods(a, IdleConfig{})
+	if len(got) != 2 {
+		t.Fatalf("detected %d idle periods, want 2", len(got))
+	}
+	if !got[1].Start.After(got[0].End) {
+		t.Error("idle periods overlap")
+	}
+}
+
+func TestDetectIdleEmpty(t *testing.T) {
+	if got := DetectIdlePeriods(Trajectory{}, IdleConfig{}); got != nil {
+		t.Errorf("empty trajectory: %v", got)
+	}
+}

@@ -1,0 +1,193 @@
+package trajectory
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+)
+
+// The CSV interchange format follows the T-drive release layout:
+// one sample per row, `id,datetime,longitude,latitude`, rows of one
+// trajectory contiguous and time-ordered. Datetimes are RFC3339 with
+// nanoseconds (the original uses a local format; RFC3339 keeps the codec
+// unambiguous and lossless).
+var trajHeader = []string{"id", "time", "lon", "lat"}
+
+// WriteCSV writes trajectories in the interchange format.
+func WriteCSV(w io.Writer, trs []Trajectory) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(trajHeader); err != nil {
+		return err
+	}
+	for _, tr := range trs {
+		for _, p := range tr.Points {
+			rec := []string{
+				strconv.FormatInt(tr.ID, 10),
+				p.T.UTC().Format(time.RFC3339Nano),
+				strconv.FormatFloat(p.P.Lon, 'f', 6, 64),
+				strconv.FormatFloat(p.P.Lat, 'f', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the interchange format, grouping rows by trajectory ID
+// (rows of one ID need not be contiguous; samples are sorted by time).
+func ReadCSV(r io.Reader) ([]Trajectory, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(trajHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trajectory: reading CSV header: %w", err)
+	}
+	for i, h := range trajHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("trajectory: CSV header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	byID := make(map[int64]*Trajectory)
+	var order []int64
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: CSV line %d: %w", line, err)
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: CSV line %d: id: %w", line, err)
+		}
+		ts, err := time.Parse(time.RFC3339Nano, rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: CSV line %d: time: %w", line, err)
+		}
+		lon, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: CSV line %d: lon: %w", line, err)
+		}
+		lat, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: CSV line %d: lat: %w", line, err)
+		}
+		p := geo.Point{Lat: lat, Lon: lon}
+		if !p.Valid() {
+			return nil, fmt.Errorf("trajectory: CSV line %d: invalid coordinates %v", line, p)
+		}
+		tr, ok := byID[id]
+		if !ok {
+			tr = &Trajectory{ID: id}
+			byID[id] = tr
+			order = append(order, id)
+		}
+		tr.Points = append(tr.Points, TimedPoint{P: p, T: ts})
+	}
+	out := make([]Trajectory, 0, len(order))
+	for _, id := range order {
+		tr := byID[id]
+		sort.SliceStable(tr.Points, func(i, j int) bool { return tr.Points[i].T.Before(tr.Points[j].T) })
+		out = append(out, *tr)
+	}
+	return out, nil
+}
+
+// MatchConfig tunes the GPS map-matcher.
+type MatchConfig struct {
+	// MaxSnapM rejects samples farther than this from any network node
+	// (GPS outliers). 0 selects 300 m.
+	MaxSnapM float64
+	// MaxGap splits the trajectory when consecutive samples are farther
+	// apart in time (vehicle parked / logger off). 0 selects 10 minutes.
+	MaxGap time.Duration
+}
+
+func (c MatchConfig) withDefaults() MatchConfig {
+	if c.MaxSnapM <= 0 {
+		c.MaxSnapM = 300
+	}
+	if c.MaxGap <= 0 {
+		c.MaxGap = 10 * time.Minute
+	}
+	return c
+}
+
+// MapMatch converts a raw GPS trajectory into scheduled trips on the road
+// network: samples snap to their nearest node, consecutive snapped nodes
+// are connected by shortest paths, and long time gaps split the stream
+// into separate trips (the T-drive taxis park between rides). Unmatchable
+// samples are skipped. The resulting trips carry synthetic IDs
+// trajectoryID*1000 + tripIndex.
+func MapMatch(g *roadnet.Graph, tr Trajectory, cfg MatchConfig) []Trip {
+	cfg = cfg.withDefaults()
+	if len(tr.Points) == 0 || g.NumNodes() == 0 {
+		return nil
+	}
+	type snapped struct {
+		node roadnet.NodeID
+		t    time.Time
+	}
+	var snaps []snapped
+	for _, p := range tr.Points {
+		n := g.NearestNode(p.P)
+		if n == roadnet.Invalid {
+			continue
+		}
+		if geo.Distance(p.P, g.Node(n).P) > cfg.MaxSnapM {
+			continue // outlier
+		}
+		// Collapse runs snapped to the same node.
+		if len(snaps) > 0 && snaps[len(snaps)-1].node == n {
+			continue
+		}
+		snaps = append(snaps, snapped{node: n, t: p.T})
+	}
+	if len(snaps) < 2 {
+		return nil
+	}
+
+	var trips []Trip
+	cur := roadnet.Path{Nodes: []roadnet.NodeID{snaps[0].node}}
+	depart := snaps[0].t
+	flush := func() {
+		if len(cur.Nodes) >= 2 {
+			trips = append(trips, Trip{
+				ID:     tr.ID*1000 + int64(len(trips)),
+				Path:   cur,
+				Depart: depart,
+			})
+		}
+	}
+	for i := 1; i < len(snaps); i++ {
+		prev, next := snaps[i-1], snaps[i]
+		if next.t.Sub(prev.t) > cfg.MaxGap {
+			flush()
+			cur = roadnet.Path{Nodes: []roadnet.NodeID{next.node}}
+			depart = next.t
+			continue
+		}
+		leg, ok := g.ShortestPath(prev.node, next.node, roadnet.DistanceWeight)
+		if !ok {
+			// Disconnected hop: close the trip and restart.
+			flush()
+			cur = roadnet.Path{Nodes: []roadnet.NodeID{next.node}}
+			depart = next.t
+			continue
+		}
+		cur.Nodes = append(cur.Nodes, leg.Nodes[1:]...)
+		cur.Weight += leg.Weight
+	}
+	flush()
+	return trips
+}

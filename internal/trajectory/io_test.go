@@ -1,0 +1,175 @@
+package trajectory
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+)
+
+func TestTrajectoryCSVRoundTrip(t *testing.T) {
+	g := smallGraph(t)
+	trips := genTrips(t, g, 3)
+	var trs []Trajectory
+	for _, trip := range trips {
+		trs = append(trs, Sample(g, trip, 20*time.Second))
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, trs); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(back) != len(trs) {
+		t.Fatalf("round trip %d vs %d trajectories", len(back), len(trs))
+	}
+	for i := range back {
+		if back[i].ID != trs[i].ID || len(back[i].Points) != len(trs[i].Points) {
+			t.Fatalf("trajectory %d shape mismatch", i)
+		}
+		for j := range back[i].Points {
+			if !back[i].Points[j].T.Equal(trs[i].Points[j].T) {
+				t.Fatalf("trajectory %d point %d time mismatch", i, j)
+			}
+			if geo.Distance(back[i].Points[j].P, trs[i].Points[j].P) > 0.2 {
+				t.Fatalf("trajectory %d point %d drifted", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVMalformedTrajectories(t *testing.T) {
+	cases := map[string]string{
+		"bad header": "x,time,lon,lat\n",
+		"bad id":     "id,time,lon,lat\nxx,2024-06-18T09:00:00Z,8.0,53.0\n",
+		"bad time":   "id,time,lon,lat\n1,yesterday,8.0,53.0\n",
+		"bad lat":    "id,time,lon,lat\n1,2024-06-18T09:00:00Z,8.0,abc\n",
+		"lat range":  "id,time,lon,lat\n1,2024-06-18T09:00:00Z,8.0,95\n",
+		"short row":  "id,time,lon,lat\n1,2024-06-18T09:00:00Z\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+		}
+	}
+}
+
+func TestReadCSVSortsOutOfOrderSamples(t *testing.T) {
+	data := "id,time,lon,lat\n" +
+		"1,2024-06-18T09:02:00Z,8.002,53.002\n" +
+		"1,2024-06-18T09:00:00Z,8.000,53.000\n" +
+		"1,2024-06-18T09:01:00Z,8.001,53.001\n"
+	trs, err := ReadCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 1 || len(trs[0].Points) != 3 {
+		t.Fatalf("parsed %+v", trs)
+	}
+	for i := 1; i < 3; i++ {
+		if trs[0].Points[i].T.Before(trs[0].Points[i-1].T) {
+			t.Fatal("samples not sorted by time")
+		}
+	}
+}
+
+func TestMapMatchRecoversTrip(t *testing.T) {
+	g := smallGraph(t)
+	orig := genTrips(t, g, 1)[0]
+	tr := Sample(g, orig, 30*time.Second)
+	trips := MapMatch(g, tr, MatchConfig{})
+	if len(trips) != 1 {
+		t.Fatalf("map matching split into %d trips, want 1", len(trips))
+	}
+	got := trips[0]
+	// Same endpoints.
+	if got.Path.Nodes[0] != orig.Path.Nodes[0] {
+		t.Errorf("start node %d vs %d", got.Path.Nodes[0], orig.Path.Nodes[0])
+	}
+	if got.Path.Nodes[len(got.Path.Nodes)-1] != orig.Path.Nodes[len(orig.Path.Nodes)-1] {
+		t.Errorf("end node mismatch")
+	}
+	// Length within 15% of the original (matching may shortcut slightly).
+	ratio := got.Path.Weight / orig.Path.Weight
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("matched length ratio %.2f", ratio)
+	}
+	// Consecutive nodes of the matched path are actually connected.
+	for i := 1; i < len(got.Path.Nodes); i++ {
+		connected := false
+		g.OutEdges(got.Path.Nodes[i-1], func(e roadnet.Edge) {
+			if e.To == got.Path.Nodes[i] {
+				connected = true
+			}
+		})
+		if !connected {
+			t.Fatalf("matched path has non-edge hop at %d", i)
+		}
+	}
+}
+
+func TestMapMatchSplitsOnTimeGap(t *testing.T) {
+	g := smallGraph(t)
+	trips := genTrips(t, g, 2)
+	a := Sample(g, trips[0], 30*time.Second)
+	b := Sample(g, trips[1], 30*time.Second)
+	// Concatenate with a 2-hour gap: taxi parked between rides.
+	merged := Trajectory{ID: 9}
+	merged.Points = append(merged.Points, a.Points...)
+	offset := a.Points[len(a.Points)-1].T.Add(2 * time.Hour)
+	for i, p := range b.Points {
+		p.T = offset.Add(time.Duration(i) * 30 * time.Second)
+		merged.Points = append(merged.Points, p)
+	}
+	got := MapMatch(g, merged, MatchConfig{MaxGap: 10 * time.Minute})
+	if len(got) != 2 {
+		t.Fatalf("gap did not split: got %d trips", len(got))
+	}
+	if got[0].ID == got[1].ID {
+		t.Error("split trips share an ID")
+	}
+	if !got[1].Depart.After(got[0].Depart) {
+		t.Error("second trip departs before first")
+	}
+}
+
+func TestMapMatchSkipsOutliers(t *testing.T) {
+	g := smallGraph(t)
+	orig := genTrips(t, g, 1)[0]
+	tr := Sample(g, orig, 30*time.Second)
+	// Inject a GPS spike far outside the network midway.
+	spike := TimedPoint{P: geo.Point{Lat: 60, Lon: 20}, T: tr.Points[len(tr.Points)/2].T.Add(time.Second)}
+	pts := append([]TimedPoint{}, tr.Points[:len(tr.Points)/2]...)
+	pts = append(pts, spike)
+	pts = append(pts, tr.Points[len(tr.Points)/2:]...)
+	tr.Points = pts
+	got := MapMatch(g, tr, MatchConfig{})
+	if len(got) != 1 {
+		t.Fatalf("outlier broke matching: %d trips", len(got))
+	}
+}
+
+func TestMapMatchDegenerate(t *testing.T) {
+	g := smallGraph(t)
+	if got := MapMatch(g, Trajectory{}, MatchConfig{}); got != nil {
+		t.Errorf("empty trajectory matched: %v", got)
+	}
+	// A single point cannot form a trip.
+	one := Trajectory{ID: 1, Points: []TimedPoint{{P: g.Node(0).P, T: t0}}}
+	if got := MapMatch(g, one, MatchConfig{}); got != nil {
+		t.Errorf("single-point trajectory matched: %v", got)
+	}
+	// All points snapped to the same node: no movement, no trip.
+	same := Trajectory{ID: 2, Points: []TimedPoint{
+		{P: g.Node(5).P, T: t0},
+		{P: g.Node(5).P, T: t0.Add(time.Minute)},
+	}}
+	if got := MapMatch(g, same, MatchConfig{}); got != nil {
+		t.Errorf("stationary trajectory matched: %v", got)
+	}
+}

@@ -1,0 +1,47 @@
+package trajectory
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTrajectorySimplify(t *testing.T) {
+	g := smallGraph(t)
+	trip := genTrips(t, g, 1)[0]
+	dense := Sample(g, trip, 2*time.Second) // Geolife-style density
+	slim := dense.Simplify(25)
+
+	if slim.ID != dense.ID {
+		t.Error("ID lost")
+	}
+	if len(slim.Points) >= len(dense.Points) {
+		t.Fatalf("no compression: %d -> %d", len(dense.Points), len(slim.Points))
+	}
+	if len(slim.Points) < 2 {
+		t.Fatalf("over-compressed to %d points", len(slim.Points))
+	}
+	// Endpoints and their timestamps preserved.
+	if slim.Points[0] != dense.Points[0] {
+		t.Error("first sample changed")
+	}
+	if slim.Points[len(slim.Points)-1] != dense.Points[len(dense.Points)-1] {
+		t.Error("last sample changed")
+	}
+	// Timestamps remain monotone.
+	for i := 1; i < len(slim.Points); i++ {
+		if slim.Points[i].T.Before(slim.Points[i-1].T) {
+			t.Fatal("timestamps out of order after simplify")
+		}
+	}
+	// Length is roughly preserved (simplification cuts corners slightly).
+	if ratio := slim.LengthMeters() / dense.LengthMeters(); ratio < 0.95 || ratio > 1.001 {
+		t.Errorf("length ratio %v after simplify", ratio)
+	}
+}
+
+func TestTrajectorySimplifyEmpty(t *testing.T) {
+	var tr Trajectory
+	if got := tr.Simplify(25); len(got.Points) != 0 {
+		t.Errorf("empty simplify: %v", got)
+	}
+}

@@ -1,0 +1,277 @@
+// Package trajectory provides scheduled trips P on a road network, their
+// partitioning into path segments p (paper §III.A step 1), and the
+// network-based moving-object generators that stand in for the Oldenburg,
+// California, T-drive and Geolife trajectory datasets (see DESIGN.md).
+package trajectory
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+)
+
+// TimedPoint is one GPS sample of a trajectory.
+type TimedPoint struct {
+	P geo.Point
+	T time.Time
+}
+
+// Trajectory is a recorded point stream, the raw form of the T-drive and
+// Geolife datasets.
+type Trajectory struct {
+	ID     int64
+	Points []TimedPoint
+}
+
+// LengthMeters returns the summed inter-sample distance.
+func (tr *Trajectory) LengthMeters() float64 {
+	var total float64
+	for i := 1; i < len(tr.Points); i++ {
+		total += geo.Distance(tr.Points[i-1].P, tr.Points[i].P)
+	}
+	return total
+}
+
+// Duration returns last sample time minus first, or zero.
+func (tr *Trajectory) Duration() time.Duration {
+	if len(tr.Points) < 2 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].T.Sub(tr.Points[0].T)
+}
+
+// Simplify reduces the trajectory with Douglas-Peucker at the given
+// spatial tolerance, keeping the timestamps of retained samples. The dense
+// Geolife-style streams (1–5 s sampling) compress by an order of magnitude
+// at a 25 m tolerance without moving the geometry beyond it.
+func (tr *Trajectory) Simplify(toleranceM float64) Trajectory {
+	out := Trajectory{ID: tr.ID}
+	if len(tr.Points) == 0 {
+		return out
+	}
+	pts := make([]geo.Point, len(tr.Points))
+	for i, p := range tr.Points {
+		pts[i] = p.P
+	}
+	kept := geo.Simplify(pts, toleranceM)
+	// Walk both sequences to recover the timestamps of kept points;
+	// Simplify preserves order, so a single forward scan suffices.
+	j := 0
+	for _, kp := range kept {
+		for j < len(tr.Points) && tr.Points[j].P != kp {
+			j++
+		}
+		if j < len(tr.Points) {
+			out.Points = append(out.Points, tr.Points[j])
+			j++
+		}
+	}
+	return out
+}
+
+// Trip is a scheduled trip P: a shortest path on the road network with a
+// departure time. All EcoCharge queries run against trips.
+type Trip struct {
+	ID     int64
+	Path   roadnet.Path
+	Depart time.Time
+}
+
+// Segment is one path segment p_i of a partitioned trip. Anchor is the
+// representative query point of the segment (its midpoint node position),
+// ETA the estimated arrival at the anchor under free-flow driving.
+type Segment struct {
+	Index      int
+	Nodes      []roadnet.NodeID
+	Start, End geo.Point
+	LengthM    float64
+	Anchor     geo.Point
+	AnchorNode roadnet.NodeID
+	ETA        time.Time
+}
+
+// SegmentTrip partitions the trip into segments of approximately segLenM
+// meters (the paper's ≈3–5 km default; the caller chooses). ETAs use the
+// free-flow time weight of the underlying edges. A trip shorter than one
+// segment yields a single segment. It returns nil for degenerate trips
+// (fewer than 2 nodes).
+func SegmentTrip(g *roadnet.Graph, trip Trip, segLenM float64) []Segment {
+	nodes := trip.Path.Nodes
+	if len(nodes) < 2 {
+		return nil
+	}
+	if segLenM <= 0 {
+		segLenM = 4000
+	}
+	var segs []Segment
+	cur := Segment{Index: 0, Start: g.Node(nodes[0]).P}
+	cur.Nodes = append(cur.Nodes, nodes[0])
+	elapsed := time.Duration(0)
+	segStartElapsed := elapsed
+
+	flush := func(endNode roadnet.NodeID) {
+		cur.End = g.Node(endNode).P
+		mid := cur.Nodes[len(cur.Nodes)/2]
+		cur.Anchor = g.Node(mid).P
+		cur.AnchorNode = mid
+		// ETA at the segment anchor: halfway between start and end times.
+		half := segStartElapsed + (elapsed-segStartElapsed)/2
+		cur.ETA = trip.Depart.Add(half)
+		segs = append(segs, cur)
+	}
+
+	for i := 1; i < len(nodes); i++ {
+		prev, next := nodes[i-1], nodes[i]
+		var length float64
+		var travel time.Duration
+		found := false
+		g.OutEdges(prev, func(e roadnet.Edge) {
+			if e.To == next && !found {
+				length = e.Length
+				travel = time.Duration(roadnet.TimeWeight(e) * float64(time.Second))
+				found = true
+			}
+		})
+		if !found {
+			// Path node pair without a direct edge (should not happen for
+			// shortest paths); fall back to geodesic distance at 50 km/h.
+			length = geo.Distance(g.Node(prev).P, g.Node(next).P)
+			travel = time.Duration(length / (50.0 / 3.6) * float64(time.Second))
+		}
+		cur.LengthM += length
+		elapsed += travel
+		cur.Nodes = append(cur.Nodes, next)
+		if cur.LengthM >= segLenM && i < len(nodes)-1 {
+			flush(next)
+			cur = Segment{Index: len(segs), Start: g.Node(next).P}
+			cur.Nodes = append(cur.Nodes, next)
+			segStartElapsed = elapsed
+		}
+	}
+	flush(nodes[len(nodes)-1])
+	return segs
+}
+
+// Sample converts a trip into a GPS trajectory with the given sampling
+// interval, interpolating positions along edges at free-flow speed.
+func Sample(g *roadnet.Graph, trip Trip, every time.Duration) Trajectory {
+	tr := Trajectory{ID: trip.ID}
+	nodes := trip.Path.Nodes
+	if len(nodes) == 0 {
+		return tr
+	}
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	now := trip.Depart
+	nextSample := now
+	emit := func(p geo.Point, t time.Time) {
+		tr.Points = append(tr.Points, TimedPoint{P: p, T: t})
+	}
+	emit(g.Node(nodes[0]).P, now)
+	nextSample = nextSample.Add(every)
+	for i := 1; i < len(nodes); i++ {
+		a, b := g.Node(nodes[i-1]).P, g.Node(nodes[i]).P
+		var travel time.Duration
+		found := false
+		g.OutEdges(nodes[i-1], func(e roadnet.Edge) {
+			if e.To == nodes[i] && !found {
+				travel = time.Duration(roadnet.TimeWeight(e) * float64(time.Second))
+				found = true
+			}
+		})
+		if !found {
+			travel = time.Duration(geo.Distance(a, b) / (50.0 / 3.6) * float64(time.Second))
+		}
+		edgeEnd := now.Add(travel)
+		for !nextSample.After(edgeEnd) && travel > 0 {
+			f := float64(nextSample.Sub(now)) / float64(travel)
+			emit(geo.Interpolate(a, b, f), nextSample)
+			nextSample = nextSample.Add(every)
+		}
+		now = edgeEnd
+	}
+	emit(g.Node(nodes[len(nodes)-1]).P, now)
+	return tr
+}
+
+// GenConfig parameterizes trip generation: random origin/destination pairs
+// with shortest-path routing, the essence of the Brinkhoff network-based
+// moving-object generator.
+type GenConfig struct {
+	N         int // number of trips
+	Seed      int64
+	MinTripKM float64       // reject OD pairs with shorter shortest paths
+	MaxTripKM float64       // resample destinations with longer paths (0 = unlimited)
+	Start     time.Time     // departure window start
+	Window    time.Duration // departures uniform in [Start, Start+Window)
+	// HotspotFrac of trips start or end at one of a few hotspot nodes
+	// (downtown bias of the taxi datasets). 0 disables.
+	HotspotFrac float64
+	Hotspots    int
+}
+
+// Generate builds N trips on the graph. It returns an error when the graph
+// is too small or too disconnected to satisfy the constraints after a
+// bounded number of attempts per trip.
+func Generate(g *roadnet.Graph, cfg GenConfig) ([]Trip, error) {
+	if g.NumNodes() < 2 {
+		return nil, fmt.Errorf("trajectory: graph too small (%d nodes)", g.NumNodes())
+	}
+	if cfg.N <= 0 {
+		return nil, nil
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Hour
+	}
+	if cfg.Hotspots <= 0 {
+		cfg.Hotspots = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hot := make([]roadnet.NodeID, cfg.Hotspots)
+	for i := range hot {
+		hot[i] = roadnet.NodeID(rng.Intn(g.NumNodes()))
+	}
+	pick := func(hotBiased bool) roadnet.NodeID {
+		if hotBiased && rng.Float64() < cfg.HotspotFrac {
+			return hot[rng.Intn(len(hot))]
+		}
+		return roadnet.NodeID(rng.Intn(g.NumNodes()))
+	}
+	trips := make([]Trip, 0, cfg.N)
+	const maxAttempts = 200
+	for i := 0; i < cfg.N; i++ {
+		var trip Trip
+		ok := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			src := pick(true)
+			dst := pick(true)
+			if src == dst {
+				continue
+			}
+			path, found := g.ShortestPath(src, dst, roadnet.DistanceWeight)
+			if !found {
+				continue
+			}
+			km := path.Weight / 1000
+			if km < cfg.MinTripKM {
+				continue
+			}
+			if cfg.MaxTripKM > 0 && km > cfg.MaxTripKM {
+				continue
+			}
+			depart := cfg.Start.Add(time.Duration(rng.Float64() * float64(cfg.Window)))
+			trip = Trip{ID: int64(i + 1), Path: path, Depart: depart}
+			ok = true
+			break
+		}
+		if !ok {
+			return nil, fmt.Errorf("trajectory: could not generate trip %d within %d attempts (graph connectivity or length constraints too strict)", i, maxAttempts)
+		}
+		trips = append(trips, trip)
+	}
+	return trips, nil
+}
