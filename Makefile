@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench figures examples clean
+.PHONY: all build test race vet lint fuzz bench figures examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,24 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cknn/ ./internal/eis/ ./internal/sim/
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 	gofmt -l .
+
+# Repo-specific static analysis (see docs/lint.md). Nonzero exit on findings.
+lint:
+	$(GO) run ./cmd/ecolint ./...
+
+# Smoke-run every fuzz target briefly; the seed corpora already run as part
+# of `make test`, this explores beyond them. go test accepts one -fuzz
+# pattern per invocation, hence the separate runs.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzFromBounds -fuzztime=10s ./internal/interval/
+	$(GO) test -run='^$$' -fuzz=FuzzOps -fuzztime=10s ./internal/interval/
+	$(GO) test -run='^$$' -fuzz=FuzzJSONRoundTrip -fuzztime=10s ./internal/charger/
+	$(GO) test -run='^$$' -fuzz=FuzzCSVRoundTrip -fuzztime=10s ./internal/charger/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -104,6 +104,7 @@ func (env *Env) deroutingMapsApprox(q Query, boundSec float64) DeroutingMaps {
 }
 
 func scaleMap(m map[roadnet.NodeID]float64, s float64) map[roadnet.NodeID]float64 {
+	//ecolint:ignore floateq exact no-op fast path: callers pass ratio 1 literally
 	if s == 1 {
 		return m
 	}
@@ -134,7 +135,7 @@ func (d DeroutingMaps) Cost(n roadnet.NodeID) (interval.I, bool) {
 	if hi < lo {
 		hi = lo
 	}
-	return interval.I{Min: lo, Max: hi}, true
+	return interval.New(lo, hi), true
 }
 
 // TravelTo returns the forward travel-time interval in seconds from the
@@ -148,7 +149,7 @@ func (d DeroutingMaps) TravelTo(n roadnet.NodeID) (interval.I, bool) {
 	if hi < lo {
 		hi = lo
 	}
-	return interval.I{Min: lo, Max: hi}, true
+	return interval.New(lo, hi), true
 }
 
 // etaAt converts a mid travel estimate into the charger's ETA.

@@ -46,6 +46,7 @@ func (w Weights) Validate() error {
 	if w.L < 0 || w.A < 0 || w.D < 0 {
 		return fmt.Errorf("cknn: negative weight %+v", w)
 	}
+	//ecolint:ignore floateq exact-zero sentinel: unset weights are literal zeros
 	if w.L == 0 && w.A == 0 && w.D == 0 {
 		return fmt.Errorf("cknn: all weights zero")
 	}
@@ -185,9 +186,11 @@ func lessEntry(a, b Entry, key sortKey) bool {
 	default:
 		av, bv = a.SC.Mid(), b.SC.Mid()
 	}
+	//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
 	if av != bv {
 		return av > bv
 	}
+	//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
 	if a.SC.Max != b.SC.Max {
 		return a.SC.Max > b.SC.Max
 	}

@@ -104,7 +104,7 @@ func ForecastError(horizon time.Duration) float64 {
 func (m *SolarModel) Forecast(site Site, t, issuedAt time.Time) interval.I {
 	truth := m.Truth(site, t)
 	maxPossible := site.CapacityKW * ClearSkyFactor(site.P, t)
-	if maxPossible == 0 {
+	if maxPossible <= 0 {
 		return interval.Exact(0)
 	}
 	err := ForecastError(t.Sub(issuedAt)) * site.CapacityKW

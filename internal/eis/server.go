@@ -88,7 +88,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(APIVersion+"/advice", s.handleAdvice)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		_, _ = fmt.Fprintln(w, "ok") // client went away; nothing to do with the error
 	})
 	return mux
 }

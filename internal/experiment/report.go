@@ -14,13 +14,14 @@ func PrintFigure(w io.Writer, title string, ms []Measurement) error {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "dataset\tmethod\tconfig\tSC%\tFt(ms)\tqueries\tcache(h/m)")
+	// tabwriter buffers all writes; errors surface at the returned Flush.
+	_, _ = fmt.Fprintln(tw, "dataset\tmethod\tconfig\tSC%\tFt(ms)\tqueries\tcache(h/m)")
 	for _, m := range ms {
 		cache := ""
 		if m.CacheHits+m.CacheMiss > 0 {
 			cache = fmt.Sprintf("%d/%d", m.CacheHits, m.CacheMiss)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f ± %.1f\t%.2f ± %.2f\t%d\t%s\n",
+		_, _ = fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f ± %.1f\t%.2f ± %.2f\t%d\t%s\n",
 			m.Dataset, m.Method, m.Config,
 			m.SCPercent.Mean, m.SCPercent.StdDev,
 			m.FtMillis.Mean, m.FtMillis.StdDev,
@@ -36,9 +37,10 @@ func PrintAblation(w io.Writer, title string, ms []Measurement) error {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "dataset\tfunction\tSC%\tw1(L)%\tw2(A)%\tw3(D)%\tFt(ms)")
+	// tabwriter buffers all writes; errors surface at the returned Flush.
+	_, _ = fmt.Fprintln(tw, "dataset\tfunction\tSC%\tw1(L)%\tw2(A)%\tw3(D)%\tFt(ms)")
 	for _, m := range ms {
-		fmt.Fprintf(tw, "%s\t%s\t%.1f ± %.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
+		_, _ = fmt.Fprintf(tw, "%s\t%s\t%.1f ± %.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
 			m.Dataset, m.Method,
 			m.SCPercent.Mean, m.SCPercent.StdDev,
 			m.Shares.L*100, m.Shares.A*100, m.Shares.D*100,

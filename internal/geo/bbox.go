@@ -119,7 +119,7 @@ func PointSegmentDistance(p, a, b Point) (dist, t float64) {
 
 	dx, dy := bx-ax, by-ay
 	segLen2 := dx*dx + dy*dy
-	if segLen2 == 0 {
+	if segLen2 <= 0 {
 		return math.Hypot(px-ax, py-ay), 0
 	}
 	t = ((px-ax)*dx + (py-ay)*dy) / segLen2

@@ -36,7 +36,12 @@ func Exact(v float64) I { return I{Min: v, Max: v} }
 // FromBounds returns the interval spanning a and b regardless of order.
 // Use it when the bounds come from two independent estimates that may
 // cross (e.g. optimistic vs pessimistic models that are not ordered a priori).
+// Like New it panics on NaN: before this check a NaN bound slipped through
+// the ordering test (NaN compares false) and produced an invalid interval.
 func FromBounds(a, b float64) I {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		panic("interval: NaN bound")
+	}
 	if a <= b {
 		return I{Min: a, Max: b}
 	}
@@ -58,6 +63,8 @@ func (a I) Width() float64 { return a.Max - a.Min }
 func (a I) Mid() float64 { return (a.Min + a.Max) / 2 }
 
 // IsExact reports whether the interval is a single point.
+//
+//ecolint:ignore floateq exact equality is the definition of a degenerate interval
 func (a I) IsExact() bool { return a.Min == a.Max }
 
 // Contains reports whether v lies within [Min, Max].
@@ -152,12 +159,16 @@ func WeightedSum(xs []I, ws []float64) I {
 }
 
 // Normalize divides the interval by the positive scalar max, producing a
-// value in [0,1] when the input lies in [0, max]. A non-positive max yields
-// the exact zero interval, which is the safe answer for an empty environment
-// (no chargers, zero maximum production).
+// value in [0,1] when the input lies in [0, max]. A non-positive or
+// infinite max yields the exact zero interval, which is the safe answer
+// for an empty environment (no chargers, zero maximum production).
+//
+// The bounds are divided directly rather than scaled by 1/max: for
+// subnormal max the reciprocal overflows to +Inf and 0·Inf injected a NaN
+// bound (caught by FuzzOps' pinned seed).
 func (a I) Normalize(max float64) I {
-	if max <= 0 {
+	if max <= 0 || math.IsInf(max, 1) {
 		return I{}
 	}
-	return a.Scale(1/max).Clamp(0, 1)
+	return I{Min: a.Min / max, Max: a.Max / max}.Clamp(0, 1)
 }

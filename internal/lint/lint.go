@@ -1,0 +1,192 @@
+// Package lint implements ecolint, the repo-specific static-analysis pass.
+//
+// The paper's refinement phase (eqs. 4-6) is only sound when every
+// Estimated Component interval keeps ordered, non-NaN bounds and every
+// ranking comparison is deliberate about floating-point exactness. The
+// analyzers in this package mechanically enforce those invariants — plus a
+// few engineering rules (error handling, goroutine coordination, library
+// output discipline) — over the whole tree, using nothing but the standard
+// library's go/ast, go/parser, go/token and go/types.
+//
+// Each analyzer lives in its own file and registers itself in All. Findings
+// can be suppressed per line with a comment of the form
+//
+//	//ecolint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the offending line or on the line directly above it.
+// The reason is mandatory by convention (ecolint does not parse it, but
+// reviewers do).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, in a shape that marshals directly to the
+// -json output of cmd/ecolint.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named rule. Run inspects the package held by the Pass and
+// reports findings through Pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All lists every analyzer in the order they run.
+var All = []*Analyzer{
+	IntervalLiteral,
+	FloatEq,
+	ErrIgnore,
+	NakedGo,
+	LibPrint,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Package is one type-checked package ready for analysis. Only non-test
+// files are loaded: tests legitimately construct invalid values, compare
+// floats exactly and spawn throwaway goroutines.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// suppressed maps file name -> line -> set of analyzer names (or "all")
+	// silenced by //ecolint:ignore comments.
+	suppressed map[string]map[int]map[string]bool
+}
+
+// Pass carries one (package, analyzer) pairing and collects findings.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an //ecolint:ignore comment
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.isSuppressed(position, p.analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Run applies the analyzers to the packages and returns the findings
+// ordered by file, line and column.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pkg.buildSuppressions()
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// buildSuppressions scans every comment in the package for
+// //ecolint:ignore directives. A directive silences the named analyzers on
+// its own line and on the line directly below it, so both trailing and
+// standalone-above placements work.
+func (p *Package) buildSuppressions() {
+	if p.suppressed != nil {
+		return
+	}
+	p.suppressed = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "ecolint:ignore") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "ecolint:ignore")
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.suppressed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					p.suppressed[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[line] = set
+					}
+					for _, n := range names {
+						set[strings.TrimSpace(n)] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (p *Package) isSuppressed(pos token.Position, analyzer string) bool {
+	set := p.suppressed[pos.Filename][pos.Line]
+	return set[analyzer] || set["all"]
+}
+
+// inIntervalPackage reports whether the package is internal/interval
+// itself, the only place allowed to build raw interval.I values.
+func (p *Package) inIntervalPackage() bool {
+	return strings.HasSuffix(p.ImportPath, "internal/interval")
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the errignore analyzer.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, nil }
+
+// Bad discards errors three different ways: all flagged.
+func Bad() {
+	mayFail()
+	value()
+	fmt.Errorf("wrapped: %w", mayFail())
+}
+
+// Good shows every accepted form.
+func Good(f *os.File, w *strings.Builder) error {
+	_ = mayFail()                   // explicit acknowledgement
+	defer f.Close()                 // deferred cleanup is idiomatic
+	fmt.Println("progress")         // stdout print: unactionable error
+	fmt.Fprintln(os.Stderr, "note") // std stream
+	fmt.Fprintln(w, "buffered")     // strings.Builder never fails
+	return mayFail()
+}
+
+// Suppressed shows the escape hatch.
+func Suppressed() {
+	//ecolint:ignore errignore fixture for the suppression story
+	mayFail()
+}

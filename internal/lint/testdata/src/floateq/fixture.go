@@ -1,0 +1,28 @@
+// Package fixture exercises the floateq analyzer.
+package fixture
+
+// Equal compares scores exactly: flagged.
+func Equal(a, b float64) bool { return a == b }
+
+// NotEqual is flagged for float32 as well.
+func NotEqual(a, b float32) bool { return a != b }
+
+// SentinelSuppressed shows a deliberate exact check with the escape hatch.
+func SentinelSuppressed(x float64) bool {
+	//ecolint:ignore floateq exact-zero sentinel in fixture
+	return x == 0
+}
+
+// SentinelUnsuppressed is the same check without a justification: flagged.
+func SentinelUnsuppressed(x float64) bool { return x != 0 }
+
+const cA, cB = 1.5, 2.5
+
+// ConstCmp compares two compile-time constants, which is exact: exempt.
+var ConstCmp = cA == cB
+
+// IntCmp compares integers: exempt.
+func IntCmp(a, b int) bool { return a == b }
+
+// Less uses an ordering operator: exempt.
+func Less(a, b float64) bool { return a < b }

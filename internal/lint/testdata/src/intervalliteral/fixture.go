@@ -1,0 +1,27 @@
+// Package fixture exercises the intervalliteral analyzer.
+package fixture
+
+import "ecocharge/internal/interval"
+
+// Bad builds a raw literal with swapped bounds: exactly the corruption the
+// analyzer exists to catch.
+func Bad(lo, hi float64) interval.I {
+	return interval.I{Min: hi, Max: lo}
+}
+
+// BadPointer is flagged through the address operator too.
+func BadPointer() *interval.I {
+	return &interval.I{Min: 2, Max: 1}
+}
+
+// GoodZero uses the empty literal, the documented exact zero interval.
+func GoodZero() interval.I { return interval.I{} }
+
+// GoodNew goes through the checked constructor.
+func GoodNew(lo, hi float64) interval.I { return interval.FromBounds(lo, hi) }
+
+// Suppressed demonstrates the escape hatch.
+func Suppressed() interval.I {
+	//ecolint:ignore intervalliteral fixture for the suppression story
+	return interval.I{Min: 0, Max: 1}
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the libprint analyzer. The test harness loads
+// it under an internal/ import path, where printing is banned.
+package fixture
+
+import (
+	"fmt"
+	"log"
+)
+
+// Bad prints from library code: all four flagged.
+func Bad(x int) {
+	fmt.Println("debug:", x)
+	fmt.Printf("x=%d\n", x)
+	log.Printf("x=%d", x)
+	log.Fatalln("giving up from library depth")
+}
+
+// Good formats into a value and lets the caller decide where it goes.
+func Good(x int) string {
+	return fmt.Sprintf("x=%d", x)
+}
+
+// Suppressed shows the escape hatch.
+func Suppressed() {
+	//ecolint:ignore libprint fixture for the suppression story
+	fmt.Println("tolerated")
+}

@@ -1,0 +1,50 @@
+// Package fixture exercises the nakedgo analyzer.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func workCtx(ctx context.Context) { _ = ctx }
+
+// Bad spawns goroutines with no visible coordination: both flagged.
+func Bad() {
+	go func() { work() }()
+	go work()
+}
+
+// GoodWaitGroup coordinates through a WaitGroup.
+func GoodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// GoodChannel signals completion by closing a channel.
+func GoodChannel(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+// GoodCtxArg hands the goroutine a context for cancellation.
+func GoodCtxArg(ctx context.Context) {
+	go workCtx(ctx)
+}
+
+type server struct{}
+
+func (s *server) loop() {}
+
+// Suppressed shows the escape hatch for coordination the heuristic cannot
+// see (loop blocks on an internal channel).
+func Suppressed(s *server) {
+	//ecolint:ignore nakedgo fixture: loop blocks on an internal channel
+	go s.loop()
+}

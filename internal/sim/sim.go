@@ -271,7 +271,7 @@ func gini(counts map[int64]int) float64 {
 		xs = append(xs, float64(n))
 		sum += float64(n)
 	}
-	if sum == 0 {
+	if sum <= 0 {
 		return 0
 	}
 	sort.Float64s(xs)

@@ -112,7 +112,7 @@ func (t *Tariff) SessionPrice(eta time.Time, session time.Duration) interval.I {
 			hi = p
 		}
 	}
-	return interval.I{Min: lo, Max: hi}
+	return interval.New(lo, hi)
 }
 
 // MaxPrice returns the highest configured price, the normalizer of pricê.
@@ -255,9 +255,11 @@ func (a *Advisor) Advise(table cknn.OfferingTable, issuedAt time.Time) []Advice 
 }
 
 func lessAdvice(x, y Advice) bool {
+	//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
 	if x.GS.Mid() != y.GS.Mid() {
 		return x.GS.Mid() > y.GS.Mid()
 	}
+	//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
 	if x.Price.Mid() != y.Price.Mid() {
 		return x.Price.Mid() < y.Price.Mid()
 	}

@@ -43,6 +43,7 @@ type Index interface {
 // Index implementation must produce.
 func sortNeighbors(ns []Neighbor) {
 	sort.Slice(ns, func(i, j int) bool {
+		//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
 		if ns[i].Dist != ns[j].Dist {
 			return ns[i].Dist < ns[j].Dist
 		}

@@ -178,6 +178,7 @@ func stabilizeTies(ns []Neighbor) {
 	i := 0
 	for i < len(ns) {
 		j := i + 1
+		//ecolint:ignore floateq ties are exact duplicates of the same distance value
 		for j < len(ns) && ns[j].Dist == ns[i].Dist {
 			j++
 		}

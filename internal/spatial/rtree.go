@@ -60,6 +60,7 @@ func (t *RTree) Bulk(items []Item) {
 func (t *RTree) packLeaves(items []Item) []*rnode {
 	sorted := append([]Item(nil), items...)
 	sort.Slice(sorted, func(i, j int) bool {
+		//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
 		if sorted[i].P.Lon != sorted[j].P.Lon {
 			return sorted[i].P.Lon < sorted[j].P.Lon
 		}
@@ -80,6 +81,7 @@ func (t *RTree) packLeaves(items []Item) []*rnode {
 		}
 		slice := sorted[start:end]
 		sort.Slice(slice, func(i, j int) bool {
+			//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
 			if slice[i].P.Lat != slice[j].P.Lat {
 				return slice[i].P.Lat < slice[j].P.Lat
 			}
@@ -103,6 +105,7 @@ func (t *RTree) packUp(nodes []*rnode) *rnode {
 	for len(nodes) > 1 {
 		sort.Slice(nodes, func(i, j int) bool {
 			ci, cj := nodes[i].bounds.Center(), nodes[j].bounds.Center()
+			//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
 			if ci.Lon != cj.Lon {
 				return ci.Lon < cj.Lon
 			}
