@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz bench figures examples clean
+.PHONY: all build test race vet lint fuzz bench bench-smoke figures examples clean
 
-all: build vet lint test
+all: build vet lint test bench-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Minimal end-to-end benchmark: one figure on the smallest profile, emitting
+# the machine-readable JSON rows (commit, workers, sc_pct, ft_ms) that CI
+# uploads as an artifact for cross-commit comparison against BENCH_seed.json.
+bench-smoke:
+	$(GO) run ./cmd/ecobench -fig 6 -dataset Oldenburg -scale 0.0005 -reps 1 -trips 1 -json bench-smoke.json
+
 # Regenerate every evaluation figure (paper Figs. 6-9 + the design,
 # horizon, and scalability supplements) as text tables.
 figures:
@@ -50,4 +56,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt bench-smoke.json

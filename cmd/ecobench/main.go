@@ -7,12 +7,17 @@
 // Example:
 //
 //	ecobench -fig all -scale 0.002 -reps 10 -csv results.csv
+//	ecobench -fig 6 -dataset Oldenburg -json bench.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -21,21 +26,72 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, design, horizon or all")
-		scale = flag.Float64("scale", 0.002, "trip-count scale relative to the paper's full datasets")
-		seed  = flag.Int64("seed", 42, "scenario seed")
-		reps  = flag.Int("reps", 5, "measurement repetitions (paper: ~10)")
-		trips = flag.Int("trips", 8, "trips sampled per repetition")
-		k     = flag.Int("k", 3, "chargers per Offering Table")
-		csvP  = flag.String("csv", "", "also export all measurements to this CSV file")
+		fig     = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, design, horizon or all")
+		scale   = flag.Float64("scale", 0.002, "trip-count scale relative to the paper's full datasets")
+		seed    = flag.Int64("seed", 42, "scenario seed")
+		reps    = flag.Int("reps", 5, "measurement repetitions (paper: ~10)")
+		trips   = flag.Int("trips", 8, "trips sampled per repetition")
+		k       = flag.Int("k", 3, "chargers per Offering Table")
+		workers = flag.Int("workers", 0, "sweep-cell worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		dataset = flag.String("dataset", "", "restrict to one dataset profile (default: all four)")
+		csvP    = flag.String("csv", "", "also export all measurements to this CSV file")
+		jsonP   = flag.String("json", "", "also export machine-readable benchmark rows to this JSON file")
+		commit  = flag.String("commit", "", "commit hash recorded in the JSON export (default: build info)")
 	)
 	flag.Parse()
 
-	cfg := experiment.RunConfig{Repetitions: *reps, TripsPerRep: *trips, K: *k}
-	if err := run(*fig, *scale, *seed, cfg, *csvP); err != nil {
+	cfg := experiment.RunConfig{Repetitions: *reps, TripsPerRep: *trips, K: *k, Workers: *workers}
+	opts := runOpts{
+		fig: *fig, dataset: *dataset, scale: *scale, seed: *seed,
+		cfg: cfg, csvPath: *csvP, jsonPath: *jsonP, commit: *commit,
+	}
+	if err := run(context.Background(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "ecobench:", err)
 		os.Exit(1)
 	}
+}
+
+// runOpts carries the resolved command-line configuration.
+type runOpts struct {
+	fig      string
+	dataset  string // empty = all profiles
+	scale    float64
+	seed     int64
+	cfg      experiment.RunConfig
+	csvPath  string
+	jsonPath string
+	commit   string
+}
+
+// benchRow is one machine-readable benchmark record of the -json export:
+// one method on one dataset under one figure configuration, aggregated over
+// repetitions. Rows are comparable across commits via the commit field.
+type benchRow struct {
+	Commit  string  `json:"commit"`
+	GOOS    string  `json:"goos"`
+	Workers int     `json:"workers"`
+	Fig     string  `json:"fig"`
+	Dataset string  `json:"dataset"`
+	Method  string  `json:"method"`
+	Config  string  `json:"config,omitempty"`
+	SCPct   float64 `json:"sc_pct"`
+	FtMs    float64 `json:"ft_ms"`
+}
+
+// resolveCommit prefers the -commit flag, then the VCS revision stamped into
+// the build, then "unknown" (e.g. plain `go run` without VCS stamping).
+func resolveCommit(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // figureSpec binds a figure id to its runner and title.
@@ -43,7 +99,7 @@ type figureSpec struct {
 	id       string
 	title    string
 	ablation bool // use the ablation printer (shares columns)
-	run      func(sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error)
+	run      func(ctx context.Context, sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error)
 }
 
 func figures() []figureSpec {
@@ -56,15 +112,15 @@ func figures() []figureSpec {
 		{
 			id:    "7",
 			title: "Figure 7 — R-opt Evaluation (EcoCharge, R ∈ {25, 50, 75} km)",
-			run: func(sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error) {
-				return experiment.RunROpt(sc, cfg, []float64{25, 50, 75})
+			run: func(ctx context.Context, sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error) {
+				return experiment.RunROpt(ctx, sc, cfg, []float64{25, 50, 75})
 			},
 		},
 		{
 			id:    "8",
 			title: "Figure 8 — Q-opt Evaluation (EcoCharge, Q ∈ {5, 10, 15} km)",
-			run: func(sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error) {
-				return experiment.RunQOpt(sc, cfg, []float64{5, 10, 15})
+			run: func(ctx context.Context, sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error) {
+				return experiment.RunQOpt(ctx, sc, cfg, []float64{5, 10, 15})
 			},
 		},
 		{
@@ -76,8 +132,8 @@ func figures() []figureSpec {
 		{
 			id:    "horizon",
 			title: "Horizon Sweep — EcoCharge planning h ahead vs a fresh-forecast oracle",
-			run: func(sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error) {
-				return experiment.RunHorizonSweep(sc, cfg, []time.Duration{0, 2 * time.Hour, 6 * time.Hour, 24 * time.Hour})
+			run: func(ctx context.Context, sc *experiment.Scenario, cfg experiment.RunConfig) ([]experiment.Measurement, error) {
+				return experiment.RunHorizonSweep(ctx, sc, cfg, []time.Duration{0, 2 * time.Hour, 6 * time.Hour, 24 * time.Hour})
 			},
 		},
 		{
@@ -88,23 +144,33 @@ func figures() []figureSpec {
 	}
 }
 
-func run(fig string, scale float64, seed int64, cfg experiment.RunConfig, csvPath string) error {
+func run(ctx context.Context, o runOpts) error {
 	valid := false
 	for _, spec := range figures() {
-		if fig == "all" || fig == spec.id {
+		if o.fig == "all" || o.fig == spec.id {
 			valid = true
 		}
 	}
 	if !valid {
-		return fmt.Errorf("unknown figure %q (want one of %s)", fig,
+		return fmt.Errorf("unknown figure %q (want one of %s)", o.fig,
 			strings.Join([]string{"6", "7", "8", "9", "design", "horizon", "all"}, ", "))
 	}
 
-	scenarios, err := experiment.BuildAllScenarios(scale, seed)
-	if err != nil {
-		return err
+	var scenarios []*experiment.Scenario
+	if o.dataset != "" {
+		sc, err := experiment.BuildScenario(o.dataset, o.scale, o.seed)
+		if err != nil {
+			return err
+		}
+		scenarios = []*experiment.Scenario{sc}
+	} else {
+		var err error
+		scenarios, err = experiment.BuildAllScenarios(o.scale, o.seed)
+		if err != nil {
+			return err
+		}
 	}
-	fmt.Printf("scenarios at scale %g (trips per dataset: ", scale)
+	fmt.Printf("scenarios at scale %g (trips per dataset: ", o.scale)
 	for i, sc := range scenarios {
 		if i > 0 {
 			fmt.Print(", ")
@@ -115,18 +181,25 @@ func run(fig string, scale float64, seed int64, cfg experiment.RunConfig, csvPat
 	fmt.Println()
 
 	var exported []experiment.Measurement
+	var rows []benchRow
+	commit := resolveCommit(o.commit)
+	workers := o.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	for _, spec := range figures() {
-		if fig != "all" && fig != spec.id {
+		if o.fig != "all" && o.fig != spec.id {
 			continue
 		}
 		var all []experiment.Measurement
 		for _, sc := range scenarios {
-			ms, err := spec.run(sc, cfg)
+			ms, err := spec.run(ctx, sc, o.cfg)
 			if err != nil {
 				return err
 			}
 			all = append(all, ms...)
 		}
+		var err error
 		if spec.ablation {
 			err = experiment.PrintAblation(os.Stdout, spec.title, all)
 		} else {
@@ -137,10 +210,17 @@ func run(fig string, scale float64, seed int64, cfg experiment.RunConfig, csvPat
 		}
 		fmt.Println()
 		exported = append(exported, all...)
+		for _, m := range all {
+			rows = append(rows, benchRow{
+				Commit: commit, GOOS: runtime.GOOS, Workers: workers,
+				Fig: spec.id, Dataset: m.Dataset, Method: m.Method, Config: m.Config,
+				SCPct: m.SCPercent.Mean, FtMs: m.FtMillis.Mean,
+			})
+		}
 	}
 
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
+	if o.csvPath != "" {
+		f, err := os.Create(o.csvPath)
 		if err != nil {
 			return err
 		}
@@ -148,7 +228,20 @@ func run(fig string, scale float64, seed int64, cfg experiment.RunConfig, csvPat
 		if err := experiment.WriteMeasurementsCSV(f, exported); err != nil {
 			return fmt.Errorf("exporting CSV: %w", err)
 		}
-		fmt.Printf("exported %d measurements to %s\n", len(exported), csvPath)
+		fmt.Printf("exported %d measurements to %s\n", len(exported), o.csvPath)
+	}
+	if o.jsonPath != "" {
+		f, err := os.Create(o.jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return fmt.Errorf("exporting JSON: %w", err)
+		}
+		fmt.Printf("exported %d benchmark rows to %s\n", len(rows), o.jsonPath)
 	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"ecocharge/internal/experiment"
@@ -8,7 +12,8 @@ import (
 
 func TestRunUnknownFigure(t *testing.T) {
 	cfg := experiment.RunConfig{Repetitions: 1, TripsPerRep: 1}
-	if err := run("42", 0.0005, 1, cfg, ""); err == nil {
+	o := runOpts{fig: "42", scale: 0.0005, seed: 1, cfg: cfg}
+	if err := run(context.Background(), o); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
@@ -18,7 +23,59 @@ func TestRunFig6Smoke(t *testing.T) {
 		t.Skip("full scenario sweep is slow")
 	}
 	cfg := experiment.RunConfig{Repetitions: 1, TripsPerRep: 1, SegmentLenM: 4000}
-	if err := run("6", 0.0003, 1, cfg, ""); err != nil {
+	o := runOpts{fig: "6", scale: 0.0003, seed: 1, cfg: cfg}
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("run fig 6: %v", err)
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario build is slow")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	cfg := experiment.RunConfig{Repetitions: 1, TripsPerRep: 1, SegmentLenM: 4000}
+	o := runOpts{
+		fig: "6", dataset: "Oldenburg", scale: 0.0003, seed: 1,
+		cfg: cfg, jsonPath: jsonPath, commit: "deadbeef",
+	}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("reading export: %v", err)
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("invalid JSON export: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no benchmark rows exported")
+	}
+	for _, r := range rows {
+		if r.Commit != "deadbeef" {
+			t.Errorf("row commit = %q, want deadbeef", r.Commit)
+		}
+		if r.Dataset != "Oldenburg" {
+			t.Errorf("row dataset = %q, want Oldenburg", r.Dataset)
+		}
+		if r.Fig != "6" {
+			t.Errorf("row fig = %q, want 6", r.Fig)
+		}
+		if r.Workers < 1 {
+			t.Errorf("row workers = %d, want >= 1", r.Workers)
+		}
+	}
+}
+
+func TestResolveCommit(t *testing.T) {
+	if got := resolveCommit("abc123"); got != "abc123" {
+		t.Fatalf("flag override ignored: %q", got)
+	}
+	// Without a flag the result depends on build stamping; it must still be
+	// non-empty so every JSON row carries a commit value.
+	if got := resolveCommit(""); got == "" {
+		t.Fatal("empty commit resolved")
 	}
 }

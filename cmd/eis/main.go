@@ -26,11 +26,12 @@ func main() {
 		seed    = flag.Int64("seed", 42, "scenario seed")
 		ttl     = flag.Duration("cache-ttl", 5*time.Minute, "server-side dynamic cache TTL")
 		cell    = flag.Float64("cache-cell", 2000, "server-side cache cell size in meters")
+		workers = flag.Int("workers", 0, "ranking parallelism per request (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	handler, desc, err := newHandler(*dataset, *seed, *ttl, *cell, logger)
+	handler, desc, err := newHandler(*dataset, *seed, *ttl, *cell, *workers, logger)
 	if err != nil {
 		logger.Fatalf("eis: %v", err)
 	}
@@ -49,7 +50,7 @@ func main() {
 
 // newHandler assembles the scenario and returns the EIS routes plus a
 // human-readable description of what is being served.
-func newHandler(dataset string, seed int64, ttl time.Duration, cellM float64, logger *log.Logger) (http.Handler, string, error) {
+func newHandler(dataset string, seed int64, ttl time.Duration, cellM float64, workers int, logger *log.Logger) (http.Handler, string, error) {
 	// The EIS only needs the environment; trips are client business.
 	sc, err := experiment.BuildScenario(dataset, 0.001, seed)
 	if err != nil {
@@ -58,6 +59,7 @@ func newHandler(dataset string, seed int64, ttl time.Duration, cellM float64, lo
 	srv := eis.NewServer(sc.Env, eis.ServerOptions{
 		CacheTTL:   ttl,
 		CacheCellM: cellM,
+		Workers:    workers,
 		Logger:     logger,
 	})
 	mw := &eis.Middleware{MaxInFlight: 256, Logger: logger}

@@ -13,7 +13,7 @@ func TestNewHandlerServes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario build is slow")
 	}
-	handler, desc, err := newHandler("Oldenburg", 1, time.Minute, 2000, nil)
+	handler, desc, err := newHandler("Oldenburg", 1, time.Minute, 2000, 0, nil)
 	if err != nil {
 		t.Fatalf("newHandler: %v", err)
 	}
@@ -44,7 +44,7 @@ func TestNewHandlerServes(t *testing.T) {
 }
 
 func TestNewHandlerBadDataset(t *testing.T) {
-	if _, _, err := newHandler("nope", 1, time.Minute, 2000, nil); err == nil {
+	if _, _, err := newHandler("nope", 1, time.Minute, 2000, 0, nil); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
 }

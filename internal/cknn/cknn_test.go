@@ -155,6 +155,38 @@ func TestRankDeterministicOnTies(t *testing.T) {
 	}
 }
 
+// Regression for the tie-breaking hardening: entries equal on the primary
+// sort key must fall through the full (SC_max, SC_min, charger ID) order,
+// so chargers with equal SC midpoints always emerge in ID order and no
+// input permutation — in particular none a parallel evaluation could
+// produce — changes the emitted table.
+func TestRankTieBreakTotalOrder(t *testing.T) {
+	entries := []Entry{
+		mkEntry(5, 0.40, 0.60), // mid 0.50
+		mkEntry(2, 0.45, 0.55), // mid 0.50, lower SC_max → after the 0.60 group
+		mkEntry(9, 0.40, 0.60), // identical interval to 5 and 1 → ID order
+		mkEntry(1, 0.40, 0.60),
+	}
+	want := []int64{1, 5, 9, 2}
+	for perm := 0; perm < len(entries); perm++ {
+		rotated := append(append([]Entry(nil), entries[perm:]...), entries[:perm]...)
+		got := Rank(rotated, len(entries))
+		for i, id := range want {
+			if got[i].Charger.ID != id {
+				t.Fatalf("permutation %d: order %v, want %v", perm, summarizeIDs(got), want)
+			}
+		}
+	}
+}
+
+func summarizeIDs(entries []Entry) []int64 {
+	ids := make([]int64, len(entries))
+	for i, e := range entries {
+		ids[i] = e.Charger.ID
+	}
+	return ids
+}
+
 func TestNewEnvValidation(t *testing.T) {
 	env := testEnv(t)
 	if env.MaxLKW <= 0 {

@@ -2,6 +2,8 @@ package cknn
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"ecocharge/internal/charger"
 	"ecocharge/internal/interval"
@@ -13,6 +15,11 @@ import (
 // candidate selection and caching policy, never by scoring rules.
 type Engine struct {
 	Env *Env
+	// Workers bounds the filtering-phase worker pool: values above 1 split
+	// per-charger EC evaluation across that many goroutines. 0 and 1 keep
+	// the sequential path, which is the testing oracle — the parallel path
+	// is proven equivalent to it by the differential suite.
+	Workers int
 }
 
 // evaluate computes the Entry of one charger for the query, using the
@@ -60,22 +67,46 @@ func capAbove(x interval.I, cap float64) interval.I {
 // rankPool runs the filtering and refinement phases over a candidate pool:
 // chargers are evaluated with interval pruning (a candidate whose cheap
 // optimistic bound cannot beat the current k-th pessimistic score skips the
-// expensive forecasts), then ranked per eq. 6.
+// expensive forecasts), then ranked per eq. 6. With Workers > 1 the
+// filtering phase fans out across a bounded pool; the output is identical
+// either way because pruning only ever drops candidates that cannot enter
+// the top-k and Rank orders entries under a total order (ties fall back to
+// the charger ID).
 func (e *Engine) rankPool(cands []*charger.Charger, d DeroutingMaps, q Query) []Entry {
+	if e.Workers > 1 && len(cands) >= minParallelCands {
+		return Rank(e.evalPoolParallel(cands, d, q), q.K)
+	}
+	return Rank(e.evalPoolSeq(cands, d, q), q.K)
+}
+
+// minParallelCands is the pool size below which goroutine hand-off costs
+// more than the sequential scan it would replace.
+const minParallelCands = 16
+
+// pruneBound is the cheap optimistic SC bound of a candidate, computed
+// before any forecasting: L and A cannot exceed 1; D cannot be better than
+// its lower bound. ok is false when the derouting cost is unknown (the
+// candidate must then be evaluated to learn it is unreachable).
+func (e *Engine) pruneBound(c *charger.Charger, d DeroutingMaps, q Query) (float64, bool) {
+	dn, ok := d.Cost(c.Node)
+	if !ok {
+		return 0, false
+	}
+	dNorm := dn.Normalize(e.Env.MaxDeroutSec)
+	return q.Weights.L + q.Weights.A + (1-dNorm.Min)*q.Weights.D, true
+}
+
+// evalPoolSeq is the sequential filtering phase — the oracle the parallel
+// path is differentially tested against.
+func (e *Engine) evalPoolSeq(cands []*charger.Charger, d DeroutingMaps, q Query) []Entry {
 	entries := make([]Entry, 0, len(cands))
 	// kthMin tracks the k-th best pessimistic SC seen so far; used for the
 	// filtering-phase prune.
 	kthMin := math.Inf(-1)
 	mins := newBottomK(q.K)
 	for _, c := range cands {
-		// Cheap optimistic bound before any forecasting: L and A cannot
-		// exceed 1; D cannot be better than its lower bound.
-		if dn, ok := d.Cost(c.Node); ok {
-			dNorm := dn.Normalize(e.Env.MaxDeroutSec)
-			upper := q.Weights.L + q.Weights.A + (1-dNorm.Min)*q.Weights.D
-			if upper < kthMin {
-				continue // pruned: cannot enter the top-k
-			}
+		if upper, ok := e.pruneBound(c, d, q); ok && upper < kthMin {
+			continue // pruned: cannot enter the top-k
 		}
 		entry, ok := e.evaluate(c, d, q)
 		if !ok {
@@ -86,7 +117,69 @@ func (e *Engine) rankPool(cands []*charger.Charger, d DeroutingMaps, q Query) []
 			kthMin = mins.kth()
 		}
 	}
-	return Rank(entries, q.K)
+	return entries
+}
+
+// evalPoolParallel is the concurrent filtering phase: Workers goroutines
+// pull candidates from a shared index and write results into per-index
+// slots, which are then merged in candidate order (index-stable merge). The
+// pruning bound is shared through an atomic: its value only ever rises, so
+// a stale read merely evaluates a candidate the sequential pass would have
+// skipped — membership below the top-k may differ between runs, the ranked
+// top-k never does.
+func (e *Engine) evalPoolParallel(cands []*charger.Charger, d DeroutingMaps, q Query) []Entry {
+	results := make([]Entry, len(cands))
+	keep := make([]bool, len(cands))
+
+	// kthBits holds math.Float64bits of the k-th best pessimistic SC.
+	var kthBits atomic.Uint64
+	kthBits.Store(math.Float64bits(math.Inf(-1)))
+	var mu sync.Mutex // guards mins
+	mins := newBottomK(q.K)
+
+	workers := e.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				c := cands[i]
+				if upper, ok := e.pruneBound(c, d, q); ok &&
+					upper < math.Float64frombits(kthBits.Load()) {
+					continue
+				}
+				entry, ok := e.evaluate(c, d, q)
+				if !ok {
+					continue
+				}
+				results[i] = entry
+				keep[i] = true
+				mu.Lock()
+				if mins.push(entry.SC.Min) {
+					kthBits.Store(math.Float64bits(mins.kth()))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	entries := make([]Entry, 0, len(cands))
+	for i := range results {
+		if keep[i] {
+			entries = append(entries, results[i])
+		}
+	}
+	return entries
 }
 
 // bottomK maintains the k largest values seen, exposing the smallest of

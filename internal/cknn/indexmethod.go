@@ -61,6 +61,13 @@ func (m *SpatialIndexMethod) Name() string { return m.name }
 // Reset implements Method; the method is stateless.
 func (m *SpatialIndexMethod) Reset() {}
 
+// ConcurrentRankOK implements ConcurrentRanker; the index is immutable
+// after construction and the engine is stateless.
+func (m *SpatialIndexMethod) ConcurrentRankOK() {}
+
+// SetWorkers implements WorkersConfigurable.
+func (m *SpatialIndexMethod) SetWorkers(n int) { m.engine.Workers = n }
+
 // Rank implements Method with the same candidate-bounded evaluation as
 // IndexQuadtree.
 func (m *SpatialIndexMethod) Rank(q Query) OfferingTable {

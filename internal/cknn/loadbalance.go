@@ -156,6 +156,15 @@ func (m *Balanced) Name() string { return m.inner.Name() + "+Balanced" }
 // fleet-wide, not per-trip).
 func (m *Balanced) Reset() { m.inner.Reset() }
 
+// SetWorkers implements WorkersConfigurable by forwarding to the inner
+// method. Balanced itself stays order-dependent (AutoCommit feeds the
+// tracker), so it is deliberately not a ConcurrentRanker.
+func (m *Balanced) SetWorkers(n int) {
+	if wc, ok := m.inner.(WorkersConfigurable); ok {
+		wc.SetWorkers(n)
+	}
+}
+
 // Rank implements Method.
 func (m *Balanced) Rank(q Query) OfferingTable {
 	q = q.normalized()

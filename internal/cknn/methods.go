@@ -3,6 +3,7 @@ package cknn
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"ecocharge/internal/charger"
@@ -17,8 +18,8 @@ func secondsDur(s float64) time.Duration {
 // Method is a ranking strategy producing Offering Tables for query points.
 // Implementations correspond one-to-one to the evaluation's compared
 // approaches. Methods may keep per-trip state (the EcoCharge cache); call
-// Reset between trips. Methods are not safe for concurrent use; create one
-// per goroutine.
+// Reset between trips. Methods are not safe for concurrent use unless they
+// implement ConcurrentRanker; create one per goroutine otherwise.
 type Method interface {
 	// Name is the label used in the figures.
 	Name() string
@@ -26,6 +27,29 @@ type Method interface {
 	Rank(q Query) OfferingTable
 	// Reset clears per-trip state.
 	Reset()
+}
+
+// ConcurrentRanker marks methods whose Rank may be called from multiple
+// goroutines simultaneously and whose output does not depend on call order
+// (stateless methods over the immutable Env). RunTrip parallelizes
+// per-segment table construction only for these; order-dependent methods
+// (EcoCharge's cache chain, Random's deterministic stream, Balanced's
+// commitment feedback) keep the sequential segment walk and parallelize
+// inside the filtering phase instead.
+type ConcurrentRanker interface {
+	Method
+	// ConcurrentRankOK is a marker; it must be safe to call Rank
+	// concurrently on implementations.
+	ConcurrentRankOK()
+}
+
+// WorkersConfigurable is implemented by methods whose engine can bound a
+// filtering-phase worker pool. RunTrip threads TripOptions.Workers through
+// it; standalone callers (e.g. the EIS) set it directly.
+type WorkersConfigurable interface {
+	// SetWorkers bounds the filtering-phase pool; 0 and 1 select the
+	// sequential oracle path.
+	SetWorkers(n int)
 }
 
 // BruteForce exhaustively evaluates the entire charger pool with unbounded
@@ -43,6 +67,12 @@ func (m *BruteForce) Name() string { return "BruteForce" }
 
 // Reset implements Method; BruteForce is stateless.
 func (m *BruteForce) Reset() {}
+
+// ConcurrentRankOK implements ConcurrentRanker; BruteForce is stateless.
+func (m *BruteForce) ConcurrentRankOK() {}
+
+// SetWorkers implements WorkersConfigurable.
+func (m *BruteForce) SetWorkers(n int) { m.engine.Workers = n }
 
 // Rank implements Method.
 func (m *BruteForce) Rank(q Query) OfferingTable {
@@ -82,6 +112,12 @@ func (m *IndexQuadtree) Name() string { return "Index-Quadtree" }
 
 // Reset implements Method; the method is stateless.
 func (m *IndexQuadtree) Reset() {}
+
+// ConcurrentRankOK implements ConcurrentRanker; the method is stateless.
+func (m *IndexQuadtree) ConcurrentRankOK() {}
+
+// SetWorkers implements WorkersConfigurable.
+func (m *IndexQuadtree) SetWorkers(n int) { m.engine.Workers = n }
 
 // Rank implements Method.
 func (m *IndexQuadtree) Rank(q Query) OfferingTable {
@@ -187,36 +223,64 @@ func (o EcoChargeOptions) withDefaults() EcoChargeOptions {
 // than Q from the cached table's anchor and the table is fresh) the cached
 // table is adapted — only the derouting component is re-derived from the
 // new position, cheaply and approximately — instead of recomputed.
+//
+// Each method instance owns one slot of a ShardedCache; a fleet of
+// concurrent trips over one Env shares the cache (NewEcoChargeShared) while
+// every trip still adapts only its own tables.
 type EcoCharge struct {
 	engine Engine
 	opts   EcoChargeOptions
-	cache  tableCache
+	cache  *ShardedCache
+	owner  uint64
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
-// NewEcoCharge returns the EcoCharge method with the given options.
+// NewEcoCharge returns the EcoCharge method with the given options and a
+// private cache.
 func NewEcoCharge(env *Env, opts EcoChargeOptions) *EcoCharge {
-	return &EcoCharge{engine: Engine{Env: env}, opts: opts.withDefaults()}
+	return NewEcoChargeShared(env, opts, NewShardedCache())
+}
+
+// NewEcoChargeShared returns an EcoCharge instance storing its dynamic
+// cache in the given shared ShardedCache. One instance per concurrent trip;
+// the instance allocates its own slot so trips never adapt each other's
+// tables.
+func NewEcoChargeShared(env *Env, opts EcoChargeOptions, cache *ShardedCache) *EcoCharge {
+	return &EcoCharge{
+		engine: Engine{Env: env},
+		opts:   opts.withDefaults(),
+		cache:  cache,
+		owner:  cache.NewOwner(),
+	}
 }
 
 // Name implements Method.
 func (m *EcoCharge) Name() string { return "EcoCharge" }
 
 // Reset implements Method: it drops the cached table (new trip, new cache).
-func (m *EcoCharge) Reset() { m.cache.invalidate() }
+func (m *EcoCharge) Reset() { m.cache.Invalidate(m.owner) }
+
+// SetWorkers implements WorkersConfigurable.
+func (m *EcoCharge) SetWorkers(n int) { m.engine.Workers = n }
 
 // Stats reports cache hits and misses since construction, used by the
 // experiments to explain the Q tradeoff.
-func (m *EcoCharge) Stats() (hits, misses int) { return m.cache.hits, m.cache.misses }
+func (m *EcoCharge) Stats() (hits, misses int) {
+	return int(m.hits.Load()), int(m.misses.Load())
+}
 
 // Rank implements Method.
 func (m *EcoCharge) Rank(q Query) OfferingTable {
 	q = q.normalized()
 	q.RadiusM = m.opts.RadiusM
-	if cached, ok := m.cache.lookup(q, m.opts); ok {
+	if cached, ok := m.cache.Lookup(m.owner, q, m.opts); ok {
+		m.hits.Add(1)
 		return m.adapt(cached, q)
 	}
+	m.misses.Add(1)
 	table := m.compute(q)
-	m.cache.store(table)
+	m.cache.Store(m.owner, table)
 	return table
 }
 
@@ -287,32 +351,4 @@ func (m *EcoCharge) adapt(cached OfferingTable, q Query) OfferingTable {
 	}
 	out.Entries = Rank(out.Entries, q.K)
 	return out
-}
-
-// tableCache is the dynamic caching state: one table per vehicle/trip.
-type tableCache struct {
-	table  OfferingTable
-	valid  bool
-	hits   int
-	misses int
-}
-
-func (c *tableCache) invalidate() { c.valid = false }
-
-func (c *tableCache) lookup(q Query, opts EcoChargeOptions) (OfferingTable, bool) {
-	if c.valid &&
-		geo.Distance(q.Anchor, c.table.Anchor) <= opts.ReuseDistM &&
-		q.Now.Sub(c.table.GeneratedAt) <= opts.TTL &&
-		!q.Now.Before(c.table.GeneratedAt) &&
-		len(c.table.Entries) > 0 {
-		c.hits++
-		return c.table, true
-	}
-	c.misses++
-	return OfferingTable{}, false
-}
-
-func (c *tableCache) store(t OfferingTable) {
-	c.table = t
-	c.valid = true
 }

@@ -175,7 +175,11 @@ const (
 )
 
 // lessEntry orders entries best-first under the chosen key with
-// deterministic tie-breaking.
+// deterministic tie-breaking: ties fall through the full score interval
+// (SC_max, then SC_min) before the final charger-ID comparison, so the
+// order is total for every key — equal-SC chargers always emerge in ID
+// order and no evaluation or merge order (in particular the parallel
+// filtering phase's) can change an emitted table.
 func lessEntry(a, b Entry, key sortKey) bool {
 	var av, bv float64
 	switch key {
@@ -193,6 +197,10 @@ func lessEntry(a, b Entry, key sortKey) bool {
 	//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
 	if a.SC.Max != b.SC.Max {
 		return a.SC.Max > b.SC.Max
+	}
+	//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
+	if a.SC.Min != b.SC.Min {
+		return a.SC.Min > b.SC.Min
 	}
 	return a.Charger.ID < b.Charger.ID
 }

@@ -1,6 +1,9 @@
 package cknn
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecocharge/internal/geo"
@@ -18,6 +21,12 @@ type TripOptions struct {
 	RadiusM float64
 	// Weights of the SC objectives; zero value selects equal weights.
 	Weights Weights
+	// Workers bounds the evaluation's worker pool. 0 selects GOMAXPROCS;
+	// 1 selects the fully sequential path (the testing oracle). Output is
+	// identical for every value: stateless methods fan out per segment with
+	// index-stable result placement, order-dependent methods keep the
+	// sequential segment walk and fan out inside the filtering phase.
+	Workers int
 }
 
 func (o TripOptions) withDefaults() TripOptions {
@@ -29,6 +38,9 @@ func (o TripOptions) withDefaults() TripOptions {
 	}
 	if o.RadiusM <= 0 {
 		o.RadiusM = 50000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -60,17 +72,58 @@ func QueryForSegment(trip trajectory.Trip, seg trajectory.Segment, opts TripOpti
 	}
 }
 
-// RunTrip evaluates the method over every segment of the trip in travel
-// order (the continuous CkNN-EC evaluation of §III.A), resetting the
-// method's per-trip state first. The i-th result corresponds to segment i.
+// RunTrip evaluates the method over every segment of the trip (the
+// continuous CkNN-EC evaluation of §III.A), resetting the method's per-trip
+// state first. The i-th result corresponds to segment i.
+//
+// With Workers > 1 the evaluation is concurrent: methods marked
+// ConcurrentRanker (stateless ones) build segment tables in parallel, with
+// each worker writing result i into slot i so the output order is the
+// travel order regardless of scheduling; other methods walk segments
+// sequentially — the EcoCharge cache chain and the Random stream are
+// order-dependent — and parallelize per-charger evaluation inside the
+// filtering phase instead. Both regimes produce byte-identical results to
+// Workers=1, which the differential equivalence suite enforces.
 func RunTrip(env *Env, method Method, trip trajectory.Trip, opts TripOptions) []SegmentResult {
 	opts = opts.withDefaults()
 	method.Reset()
 	segs := trajectory.SegmentTrip(env.Graph, trip, opts.SegmentLenM)
-	out := make([]SegmentResult, 0, len(segs))
-	for _, seg := range segs {
+	out := make([]SegmentResult, len(segs))
+	if _, ok := method.(ConcurrentRanker); ok && opts.Workers > 1 && len(segs) > 1 {
+		// Per-segment fan-out saturates the pool on its own; keep each
+		// Rank call sequential inside so the total stays bounded.
+		if wc, ok := method.(WorkersConfigurable); ok {
+			wc.SetWorkers(1)
+		}
+		workers := opts.Workers
+		if workers > len(segs) {
+			workers = len(segs)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(segs) {
+						return
+					}
+					q := QueryForSegment(trip, segs[i], opts)
+					out[i] = SegmentResult{Segment: segs[i], Table: method.Rank(q)}
+				}
+			}()
+		}
+		wg.Wait()
+		return out
+	}
+	if wc, ok := method.(WorkersConfigurable); ok {
+		wc.SetWorkers(opts.Workers)
+	}
+	for i, seg := range segs {
 		q := QueryForSegment(trip, seg, opts)
-		out = append(out, SegmentResult{Segment: seg, Table: method.Rank(q)})
+		out[i] = SegmentResult{Segment: seg, Table: method.Rank(q)}
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -24,6 +25,11 @@ type ServerOptions struct {
 	CacheCellM float64
 	// CacheTTL bounds cached table age. 0 selects 5 minutes.
 	CacheTTL time.Duration
+	// Workers bounds the ranking parallelism per request: it is forwarded
+	// to the engine's filtering phase and to RunTrip's per-segment pool, so
+	// one trip evaluation uses at most Workers goroutines. 0 selects
+	// GOMAXPROCS; 1 runs the sequential reference path.
+	Workers int
 	// Clock is overridable for tests; nil selects time.Now.
 	Clock func() time.Time
 	// Logger for request errors; nil silences logging.
@@ -36,6 +42,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.CacheTTL <= 0 {
 		o.CacheTTL = 5 * time.Minute
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now
@@ -50,8 +59,7 @@ type Server struct {
 	engine cknn.Engine
 	opts   ServerOptions
 
-	mu    sync.Mutex
-	cache map[cacheKey]cacheVal
+	cache respCache
 }
 
 type cacheKey struct {
@@ -66,13 +74,66 @@ type cacheVal struct {
 	expires time.Time
 }
 
+// respCacheStripes is the shard count of the response cache: enough to keep
+// concurrent offering requests off each other's locks, small enough that
+// the fixed array stays cheap.
+const respCacheStripes = 16
+
+// respCache is the server-side dynamic cache, mutex-striped so concurrent
+// requests landing in different spatial cells never contend. Keys are
+// hashed (FNV-1a over the key's fixed-width fields) onto a shard; each
+// shard is an independently locked map.
+type respCache struct {
+	shards [respCacheStripes]respShard
+}
+
+type respShard struct {
+	mu sync.Mutex
+	m  map[cacheKey]cacheVal
+}
+
+func (c *respCache) shard(key cacheKey) *respShard {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for _, v := range [...]uint64{
+		uint64(key.cellLat), uint64(key.cellLon),
+		uint64(key.k), uint64(key.radiusM),
+		math.Float64bits(key.weights.L),
+		math.Float64bits(key.weights.A),
+		math.Float64bits(key.weights.D),
+	} {
+		h ^= v
+		h *= 1099511628211 // FNV-1a prime
+	}
+	return &c.shards[h%respCacheStripes]
+}
+
+func (c *respCache) get(key cacheKey, now time.Time) (OfferingResponse, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	if !ok || now.After(v.expires) {
+		return OfferingResponse{}, false
+	}
+	return v.resp, true
+}
+
+func (c *respCache) put(key cacheKey, resp OfferingResponse, expires time.Time) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[cacheKey]cacheVal)
+	}
+	s.m[key] = cacheVal{resp: resp, expires: expires}
+}
+
 // NewServer returns a server over the environment.
 func NewServer(env *cknn.Env, opts ServerOptions) *Server {
 	return &Server{
 		env:    env,
 		engine: cknn.Engine{Env: env},
 		opts:   opts.withDefaults(),
-		cache:  make(map[cacheKey]cacheVal),
 	}
 }
 
@@ -269,7 +330,7 @@ func (s *Server) handleOffering(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := s.cacheKeyFor(p, req)
-	if resp, ok := s.cacheGet(key, now); ok {
+	if resp, ok := s.cache.get(key, now); ok {
 		resp.Cached = true
 		writeJSON(w, resp)
 		return
@@ -286,6 +347,7 @@ func (s *Server) handleOffering(w http.ResponseWriter, r *http.Request) {
 		K: req.K, RadiusM: req.RadiusM, Weights: weights,
 	}
 	m := cknn.NewEcoCharge(s.env, cknn.EcoChargeOptions{RadiusM: req.RadiusM})
+	m.SetWorkers(s.opts.Workers)
 	table := m.Rank(q)
 	resp := OfferingResponse{GeneratedAt: now}
 	for _, e := range table.Entries {
@@ -301,7 +363,7 @@ func (s *Server) handleOffering(w http.ResponseWriter, r *http.Request) {
 			ETA:       e.Comp.ETA,
 		})
 	}
-	s.cachePut(key, resp, now)
+	s.cache.put(key, resp, now.Add(s.opts.CacheTTL))
 	writeJSON(w, resp)
 }
 
@@ -314,20 +376,4 @@ func (s *Server) cacheKeyFor(p geo.Point, req OfferingRequest) cacheKey {
 		radiusM: int64(req.RadiusM),
 		weights: req.Weights,
 	}
-}
-
-func (s *Server) cacheGet(key cacheKey, now time.Time) (OfferingResponse, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.cache[key]
-	if !ok || now.After(v.expires) {
-		return OfferingResponse{}, false
-	}
-	return v.resp, true
-}
-
-func (s *Server) cachePut(key cacheKey, resp OfferingResponse, now time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cache[key] = cacheVal{resp: resp, expires: now.Add(s.opts.CacheTTL)}
 }

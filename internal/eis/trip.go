@@ -123,6 +123,7 @@ func (s *Server) handleTripOffering(w http.ResponseWriter, r *http.Request) {
 	method := cknn.NewEcoCharge(s.env, cknn.EcoChargeOptions{RadiusM: req.RadiusM, ReuseDistM: req.ReuseDistM})
 	results := cknn.RunTrip(s.env, method, trip, cknn.TripOptions{
 		K: req.K, SegmentLenM: req.SegmentLenM, RadiusM: req.RadiusM, Weights: weights,
+		Workers: s.opts.Workers,
 	})
 
 	resp := TripOfferingResponse{TripLengthM: total}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -34,7 +35,9 @@ func AblationFunctions() []AblationFunction {
 // optimum — isolating what the weight configuration costs. The achieved
 // objective shares (the w1/w2/w3 percentages the figure annotates) are the
 // fractions of the truth score mass contributed by each objective.
-func RunAblation(sc *Scenario, cfg RunConfig) ([]Measurement, error) {
+// Repetitions run concurrently on the config's worker pool (each owns its
+// RNG seed and method instances) and are folded in repetition order.
+func RunAblation(ctx context.Context, sc *Scenario, cfg RunConfig) ([]Measurement, error) {
 	cfg = cfg.withDefaults()
 	if len(sc.Trips) == 0 {
 		return nil, fmt.Errorf("experiment: scenario %s has no trips", sc.Name)
@@ -43,29 +46,33 @@ func RunAblation(sc *Scenario, cfg RunConfig) ([]Measurement, error) {
 	eqW := cknn.EqualWeights()
 	fns := AblationFunctions()
 
-	scPct := make(map[string][]float64)
-	ft := make(map[string][]float64)
 	type shareAcc struct{ l, a, d float64 }
-	shares := make(map[string]*shareAcc)
-	queries := make(map[string]int)
-	for _, fn := range fns {
-		shares[fn.Name] = &shareAcc{}
+	type repOut struct {
+		truth   map[string]float64
+		ftMS    map[string][]float64
+		shares  map[string]*shareAcc
+		queries map[string]int
+		denom   float64
 	}
-
-	for rep := 0; rep < cfg.Repetitions; rep++ {
+	outs := make([]repOut, cfg.Repetitions)
+	err := forEachCell(ctx, cfg.Repetitions, cfg.Workers, func(rep int) {
 		rng := rand.New(rand.NewSource(sc.Seed*1000 + int64(rep)))
 		trips := sampleTrips(rng, sc.Trips, cfg.TripsPerRep)
 
 		bf := cknn.NewBruteForce(sc.Env)
 		methods := make(map[string]cknn.Method, len(fns))
+		o := repOut{
+			truth:   make(map[string]float64),
+			ftMS:    make(map[string][]float64),
+			shares:  make(map[string]*shareAcc),
+			queries: make(map[string]int),
+		}
 		for _, fn := range fns {
 			methods[fn.Name] = cknn.NewEcoCharge(sc.Env, cknn.EcoChargeOptions{
 				RadiusM: cfg.RadiusM, ReuseDistM: cfg.ReuseDistM,
 			})
+			o.shares[fn.Name] = &shareAcc{}
 		}
-		truth := make(map[string]float64)
-		ftMS := make(map[string][]float64)
-		var denom float64
 
 		for _, trip := range trips {
 			segs := trajectory.SegmentTrip(sc.Graph, trip, cfg.SegmentLenM)
@@ -81,7 +88,7 @@ func RunAblation(sc *Scenario, cfg RunConfig) ([]Measurement, error) {
 				// Denominator: brute force under equal weights.
 				for _, e := range bf.Rank(baseQ).Entries {
 					if v, ok := engine.TruthSC(baseQ, tm, e.Charger); ok {
-						denom += v
+						o.denom += v
 					}
 				}
 				for _, fn := range fns {
@@ -89,9 +96,9 @@ func RunAblation(sc *Scenario, cfg RunConfig) ([]Measurement, error) {
 					q.Weights = fn.Weights
 					start := time.Now()
 					table := methods[fn.Name].Rank(q)
-					ftMS[fn.Name] = append(ftMS[fn.Name], float64(time.Since(start))/float64(time.Millisecond))
-					queries[fn.Name]++
-					acc := shares[fn.Name]
+					o.ftMS[fn.Name] = append(o.ftMS[fn.Name], float64(time.Since(start))/float64(time.Millisecond))
+					o.queries[fn.Name]++
+					acc := o.shares[fn.Name]
 					for _, e := range table.Entries {
 						l, a, dc, ok := engine.TruthComponents(baseQ, tm, e.Charger)
 						if !ok {
@@ -99,7 +106,7 @@ func RunAblation(sc *Scenario, cfg RunConfig) ([]Measurement, error) {
 						}
 						// Scored under equal weights regardless of the
 						// ranking function.
-						truth[fn.Name] += (l + a + dc) / 3
+						o.truth[fn.Name] += (l + a + dc) / 3
 						acc.l += l
 						acc.a += a
 						acc.d += dc
@@ -107,11 +114,29 @@ func RunAblation(sc *Scenario, cfg RunConfig) ([]Measurement, error) {
 				}
 			}
 		}
+		outs[rep] = o
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	scPct := make(map[string][]float64)
+	ft := make(map[string][]float64)
+	shares := make(map[string]*shareAcc)
+	queries := make(map[string]int)
+	for _, fn := range fns {
+		shares[fn.Name] = &shareAcc{}
+	}
+	for _, o := range outs {
 		for _, fn := range fns {
-			if denom > 0 {
-				scPct[fn.Name] = append(scPct[fn.Name], truth[fn.Name]/denom*100)
+			if o.denom > 0 {
+				scPct[fn.Name] = append(scPct[fn.Name], o.truth[fn.Name]/o.denom*100)
 			}
-			ft[fn.Name] = append(ft[fn.Name], stats.Mean(ftMS[fn.Name]))
+			ft[fn.Name] = append(ft[fn.Name], stats.Mean(o.ftMS[fn.Name]))
+			queries[fn.Name] += o.queries[fn.Name]
+			shares[fn.Name].l += o.shares[fn.Name].l
+			shares[fn.Name].a += o.shares[fn.Name].a
+			shares[fn.Name].d += o.shares[fn.Name].d
 		}
 	}
 

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"ecocharge/internal/cknn"
 )
 
@@ -16,7 +18,7 @@ import (
 //	Eco-NoCache         — Q ≈ 0: every query recomputes (isolates caching)
 //	Eco-ExactIntervals  — exact four-expansion derouting (isolates the
 //	                      mid-traffic approximation)
-func RunDesignAblation(sc *Scenario, cfg RunConfig) ([]Measurement, error) {
+func RunDesignAblation(ctx context.Context, sc *Scenario, cfg RunConfig) ([]Measurement, error) {
 	factories := []methodFactory{
 		{"BruteForce", func(env *cknn.Env, _ RunConfig, _ int64) cknn.Method {
 			return cknn.NewBruteForce(env)
@@ -37,5 +39,5 @@ func RunDesignAblation(sc *Scenario, cfg RunConfig) ([]Measurement, error) {
 			})
 		}},
 	}
-	return runSeries(sc, cfg, factories, "design")
+	return runSeries(ctx, sc, cfg, factories, "design")
 }

@@ -1,10 +1,13 @@
 package experiment
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunDesignAblation(t *testing.T) {
 	sc := tinyScenario(t)
-	ms, err := RunDesignAblation(sc, tinyConfig())
+	ms, err := RunDesignAblation(context.Background(), sc, tinyConfig())
 	if err != nil {
 		t.Fatalf("RunDesignAblation: %v", err)
 	}

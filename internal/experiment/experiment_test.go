@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -44,7 +46,7 @@ func TestBuildScenario(t *testing.T) {
 
 func TestRunPerformanceShape(t *testing.T) {
 	sc := tinyScenario(t)
-	ms, err := RunPerformance(sc, tinyConfig())
+	ms, err := RunPerformance(context.Background(), sc, tinyConfig())
 	if err != nil {
 		t.Fatalf("RunPerformance: %v", err)
 	}
@@ -96,7 +98,7 @@ func TestRunPerformanceShape(t *testing.T) {
 
 func TestRunROptMonotonicity(t *testing.T) {
 	sc := tinyScenario(t)
-	ms, err := RunROpt(sc, tinyConfig(), []float64{5, 50})
+	ms, err := RunROpt(context.Background(), sc, tinyConfig(), []float64{5, 50})
 	if err != nil {
 		t.Fatalf("RunROpt: %v", err)
 	}
@@ -118,7 +120,7 @@ func TestRunROptMonotonicity(t *testing.T) {
 func TestRunQOptCacheTradeoff(t *testing.T) {
 	sc := tinyScenario(t)
 	cfg := tinyConfig()
-	ms, err := RunQOpt(sc, cfg, []float64{2, 15})
+	ms, err := RunQOpt(context.Background(), sc, cfg, []float64{2, 15})
 	if err != nil {
 		t.Fatalf("RunQOpt: %v", err)
 	}
@@ -140,7 +142,7 @@ func TestRunQOptCacheTradeoff(t *testing.T) {
 
 func TestRunAblationShape(t *testing.T) {
 	sc := tinyScenario(t)
-	ms, err := RunAblation(sc, tinyConfig())
+	ms, err := RunAblation(context.Background(), sc, tinyConfig())
 	if err != nil {
 		t.Fatalf("RunAblation: %v", err)
 	}
@@ -178,7 +180,7 @@ func TestRunAblationShape(t *testing.T) {
 
 func TestPrintFigure(t *testing.T) {
 	sc := tinyScenario(t)
-	ms, err := RunPerformance(sc, RunConfig{Repetitions: 1, TripsPerRep: 2})
+	ms, err := RunPerformance(context.Background(), sc, RunConfig{Repetitions: 1, TripsPerRep: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +211,56 @@ func TestRunSeriesErrors(t *testing.T) {
 	sc := tinyScenario(t)
 	empty := *sc
 	empty.Trips = nil
-	if _, err := RunPerformance(&empty, tinyConfig()); err == nil {
+	if _, err := RunPerformance(context.Background(), &empty, tinyConfig()); err == nil {
 		t.Error("empty trips accepted")
+	}
+}
+
+func TestRunSeriesCancellation(t *testing.T) {
+	sc := tinyScenario(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first cell starts
+	_, err := RunPerformance(ctx, sc, tinyConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunSeriesWorkerDeterminism is the sweep-cell analogue of the cknn
+// differential tests: parallel cells must reproduce the sequential
+// aggregates exactly, because every repetition owns its seed and results
+// are folded in repetition order.
+func TestRunSeriesWorkerDeterminism(t *testing.T) {
+	sc := tinyScenario(t)
+	seqCfg := tinyConfig()
+	seqCfg.Workers = 1
+	parCfg := tinyConfig()
+	parCfg.Workers = 4
+	seq, err := RunPerformance(context.Background(), sc, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunPerformance(context.Background(), sc, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("measurement counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		// F_t is wall-clock and legitimately varies; everything derived
+		// from the ranking itself must be bit-identical.
+		if s.Method != p.Method || s.Dataset != p.Dataset || s.Config != p.Config {
+			t.Fatalf("row %d identity differs: %+v vs %+v", i, s, p)
+		}
+		//ecolint:ignore floateq determinism check: parallel cells must be bit-identical
+		if s.SCPercent.Mean != p.SCPercent.Mean || s.SCPercent.StdDev != p.SCPercent.StdDev {
+			t.Errorf("%s SC%% differs across workers: %v vs %v", s.Method, s.SCPercent, p.SCPercent)
+		}
+		if s.Queries != p.Queries || s.CacheHits != p.CacheHits || s.CacheMiss != p.CacheMiss {
+			t.Errorf("%s counts differ: (%d,%d,%d) vs (%d,%d,%d)", s.Method,
+				s.Queries, s.CacheHits, s.CacheMiss, p.Queries, p.CacheHits, p.CacheMiss)
+		}
 	}
 }

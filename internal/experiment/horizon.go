@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -17,8 +18,9 @@ import (
 // oracle that also plans at the same horizon. As the horizon grows the
 // intervals widen, the eq. 6 intersection gets less informative, and SC%
 // decays — quantifying the paper's premise that forecast quality bounds
-// recommendation quality.
-func RunHorizonSweep(sc *Scenario, cfg RunConfig, horizons []time.Duration) ([]Measurement, error) {
+// recommendation quality. Repetitions of each horizon run concurrently on
+// the config's worker pool and are folded in repetition order.
+func RunHorizonSweep(ctx context.Context, sc *Scenario, cfg RunConfig, horizons []time.Duration) ([]Measurement, error) {
 	cfg = cfg.withDefaults()
 	if len(sc.Trips) == 0 {
 		return nil, fmt.Errorf("experiment: scenario %s has no trips", sc.Name)
@@ -30,18 +32,20 @@ func RunHorizonSweep(sc *Scenario, cfg RunConfig, horizons []time.Duration) ([]M
 
 	var out []Measurement
 	for _, h := range horizons {
-		scPct := make([]float64, 0, cfg.Repetitions)
-		ft := make([]float64, 0, cfg.Repetitions)
-		queries := 0
-		for rep := 0; rep < cfg.Repetitions; rep++ {
+		type repOut struct {
+			truthSum, denom float64
+			ftMS            []float64
+			queries         int
+		}
+		outs := make([]repOut, cfg.Repetitions)
+		err := forEachCell(ctx, cfg.Repetitions, cfg.Workers, func(rep int) {
 			rng := rand.New(rand.NewSource(sc.Seed*1000 + int64(rep)))
 			trips := sampleTrips(rng, sc.Trips, cfg.TripsPerRep)
 			method := cknn.NewEcoCharge(sc.Env, cknn.EcoChargeOptions{
 				RadiusM: cfg.RadiusM, ReuseDistM: cfg.ReuseDistM,
 			})
 			oracle := cknn.NewBruteForce(sc.Env)
-			var truthSum, denom float64
-			var ftMS []float64
+			var o repOut
 			for _, trip := range trips {
 				method.Reset()
 				segs := trajectory.SegmentTrip(sc.Graph, trip, cfg.SegmentLenM)
@@ -57,25 +61,35 @@ func RunHorizonSweep(sc *Scenario, cfg RunConfig, horizons []time.Duration) ([]M
 					qOld.Now = trip.Depart.Add(-h)
 					start := time.Now()
 					table := method.Rank(qOld)
-					ftMS = append(ftMS, float64(time.Since(start))/float64(time.Millisecond))
-					queries++
+					o.ftMS = append(o.ftMS, float64(time.Since(start))/float64(time.Millisecond))
+					o.queries++
 					tm := engine.TruthMaps(q)
 					for _, e := range table.Entries {
 						if v, ok := engine.TruthSC(q, tm, e.Charger); ok {
-							truthSum += v
+							o.truthSum += v
 						}
 					}
 					for _, e := range oracle.Rank(q).Entries {
 						if v, ok := engine.TruthSC(q, tm, e.Charger); ok {
-							denom += v
+							o.denom += v
 						}
 					}
 				}
 			}
-			if denom > 0 {
-				scPct = append(scPct, truthSum/denom*100)
+			outs[rep] = o
+		})
+		if err != nil {
+			return nil, err
+		}
+		scPct := make([]float64, 0, cfg.Repetitions)
+		ft := make([]float64, 0, cfg.Repetitions)
+		queries := 0
+		for _, o := range outs {
+			if o.denom > 0 {
+				scPct = append(scPct, o.truthSum/o.denom*100)
 			}
-			ft = append(ft, stats.Mean(ftMS))
+			ft = append(ft, stats.Mean(o.ftMS))
+			queries += o.queries
 		}
 		out = append(out, Measurement{
 			Dataset:   sc.Name,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -8,7 +9,7 @@ import (
 func TestRunHorizonSweep(t *testing.T) {
 	sc := tinyScenario(t)
 	cfg := RunConfig{Repetitions: 2, TripsPerRep: 3, SegmentLenM: 4000}
-	ms, err := RunHorizonSweep(sc, cfg, []time.Duration{0, 24 * time.Hour})
+	ms, err := RunHorizonSweep(context.Background(), sc, cfg, []time.Duration{0, 24 * time.Hour})
 	if err != nil {
 		t.Fatalf("RunHorizonSweep: %v", err)
 	}
@@ -37,7 +38,7 @@ func TestRunHorizonSweepEmptyTrips(t *testing.T) {
 	sc := tinyScenario(t)
 	empty := *sc
 	empty.Trips = nil
-	if _, err := RunHorizonSweep(&empty, RunConfig{}, nil); err == nil {
+	if _, err := RunHorizonSweep(context.Background(), &empty, RunConfig{}, nil); err == nil {
 		t.Fatal("empty trips accepted")
 	}
 }

@@ -1,8 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecocharge/internal/cknn"
@@ -23,6 +27,14 @@ type RunConfig struct {
 	Weights     cknn.Weights
 	Repetitions int // measurement repetitions (paper: ~10; default 5)
 	TripsPerRep int // trips sampled per repetition (default 8)
+	// Workers bounds the pool running sweep cells (repetitions)
+	// concurrently. Every repetition owns its RNG seed and its method
+	// instances, so results are independent of scheduling; cells are folded
+	// in repetition order so aggregates are bit-stable too. 0 selects
+	// GOMAXPROCS; 1 runs cells sequentially. Per-query latency (F_t) is
+	// measured inside a cell either way — methods evaluate on one core so
+	// the figures stay comparable across worker counts.
+	Workers int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -47,7 +59,49 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.TripsPerRep <= 0 {
 		c.TripsPerRep = 8
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// forEachCell runs fn(i) for every cell index in [0, n) on a pool of at
+// most workers goroutines, stopping early — unstarted cells are skipped —
+// once ctx is cancelled. It returns ctx.Err() when the run was cut short.
+// fn must confine its writes to per-index state.
+func forEachCell(ctx context.Context, n, workers int, fn func(i int)) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // Measurement is one figure data point: a method on a dataset under one
@@ -183,13 +237,16 @@ func sampleTrips(rng *rand.Rand, trips []trajectory.Trip, n int) []trajectory.Tr
 
 // RunPerformance executes the Fig. 6 series on one scenario: the four
 // methods under the default configuration.
-func RunPerformance(sc *Scenario, cfg RunConfig) ([]Measurement, error) {
-	return runSeries(sc, cfg, allMethodFactories(), "")
+func RunPerformance(ctx context.Context, sc *Scenario, cfg RunConfig) ([]Measurement, error) {
+	return runSeries(ctx, sc, cfg, allMethodFactories(), "")
 }
 
 // runSeries runs repetitions of the factories on the scenario, aggregating
 // SC% (vs the BruteForce factory, which must be present) and F_t.
-func runSeries(sc *Scenario, cfg RunConfig, factories []methodFactory, label string) ([]Measurement, error) {
+// Repetitions are the sweep cells: they run concurrently on the config's
+// worker pool and are folded in repetition order, so the aggregates do not
+// depend on scheduling.
+func runSeries(ctx context.Context, sc *Scenario, cfg RunConfig, factories []methodFactory, label string) ([]Measurement, error) {
 	cfg = cfg.withDefaults()
 	if len(sc.Trips) == 0 {
 		return nil, fmt.Errorf("experiment: scenario %s has no trips", sc.Name)
@@ -197,23 +254,34 @@ func runSeries(sc *Scenario, cfg RunConfig, factories []methodFactory, label str
 	if factories[0].name != "BruteForce" {
 		return nil, fmt.Errorf("experiment: first factory must be BruteForce (got %s)", factories[0].name)
 	}
+	type repOut struct {
+		results map[string]*repResult
+		methods map[string]cknn.Method
+	}
+	outs := make([]repOut, cfg.Repetitions)
+	err := forEachCell(ctx, cfg.Repetitions, cfg.Workers, func(rep int) {
+		results, methods := runOnce(sc, cfg, factories, rep)
+		outs[rep] = repOut{results: results, methods: methods}
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	scPct := make(map[string][]float64)
 	ft := make(map[string][]float64)
 	queries := make(map[string]int)
 	hits := make(map[string]int)
 	misses := make(map[string]int)
-
-	for rep := 0; rep < cfg.Repetitions; rep++ {
-		results, methods := runOnce(sc, cfg, factories, rep)
-		denom := results["BruteForce"].truthSum
-		for name, r := range results {
+	for _, o := range outs {
+		denom := o.results["BruteForce"].truthSum
+		for name, r := range o.results {
 			if denom > 0 {
 				scPct[name] = append(scPct[name], r.truthSum/denom*100)
 			}
 			ft[name] = append(ft[name], stats.Mean(r.ftMillis))
 			queries[name] += r.queries
 		}
-		for name, m := range methods {
+		for name, m := range o.methods {
 			if eco, ok := m.(*cknn.EcoCharge); ok {
 				h, ms := eco.Stats()
 				hits[name] += h
@@ -240,7 +308,7 @@ func runSeries(sc *Scenario, cfg RunConfig, factories []methodFactory, label str
 
 // RunROpt executes the Fig. 7 series: EcoCharge under R ∈ radiiKM (paper:
 // 25, 50, 75 km), reporting SC% against the same brute-force optimum.
-func RunROpt(sc *Scenario, cfg RunConfig, radiiKM []float64) ([]Measurement, error) {
+func RunROpt(ctx context.Context, sc *Scenario, cfg RunConfig, radiiKM []float64) ([]Measurement, error) {
 	if len(radiiKM) == 0 {
 		radiiKM = []float64{25, 50, 75}
 	}
@@ -248,7 +316,7 @@ func RunROpt(sc *Scenario, cfg RunConfig, radiiKM []float64) ([]Measurement, err
 	for _, r := range radiiKM {
 		c := cfg
 		c.RadiusM = r * 1000
-		ms, err := runSeries(sc, c, ecoOnlyFactory(), fmt.Sprintf("R=%.0fkm", r))
+		ms, err := runSeries(ctx, sc, c, ecoOnlyFactory(), fmt.Sprintf("R=%.0fkm", r))
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +332,7 @@ func RunROpt(sc *Scenario, cfg RunConfig, radiiKM []float64) ([]Measurement, err
 
 // RunQOpt executes the Fig. 8 series: EcoCharge under Q ∈ qKM (paper: 5,
 // 10, 15 km).
-func RunQOpt(sc *Scenario, cfg RunConfig, qKM []float64) ([]Measurement, error) {
+func RunQOpt(ctx context.Context, sc *Scenario, cfg RunConfig, qKM []float64) ([]Measurement, error) {
 	if len(qKM) == 0 {
 		qKM = []float64{5, 10, 15}
 	}
@@ -272,7 +340,7 @@ func RunQOpt(sc *Scenario, cfg RunConfig, qKM []float64) ([]Measurement, error) 
 	for _, qv := range qKM {
 		c := cfg
 		c.ReuseDistM = qv * 1000
-		ms, err := runSeries(sc, c, ecoOnlyFactory(), fmt.Sprintf("Q=%.0fkm", qv))
+		ms, err := runSeries(ctx, sc, c, ecoOnlyFactory(), fmt.Sprintf("Q=%.0fkm", qv))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -14,7 +15,7 @@ import (
 // profile and measures EcoCharge and BruteForce: the supplementary
 // experiment behind the paper's O(n) vs O(log n) discussion. Each point
 // rebuilds the charger set (same placement seed) on the scenario's graph.
-func RunChargerScalability(sc *Scenario, cfg RunConfig, counts []int) ([]Measurement, error) {
+func RunChargerScalability(ctx context.Context, sc *Scenario, cfg RunConfig, counts []int) ([]Measurement, error) {
 	if len(counts) == 0 {
 		counts = []int{250, 500, 1000, 2000}
 	}
@@ -31,7 +32,7 @@ func RunChargerScalability(sc *Scenario, cfg RunConfig, counts []int) ([]Measure
 		}
 		scaled := *sc
 		scaled.Env = env
-		ms, err := runSeries(&scaled, cfg, allMethodFactories(), fmt.Sprintf("|B|=%d", n))
+		ms, err := runSeries(ctx, &scaled, cfg, allMethodFactories(), fmt.Sprintf("|B|=%d", n))
 		if err != nil {
 			return nil, err
 		}
@@ -42,7 +43,7 @@ func RunChargerScalability(sc *Scenario, cfg RunConfig, counts []int) ([]Measure
 
 // RunKSweep sweeps the Offering Table size k on one scenario for EcoCharge
 // (with BruteForce as the SC% denominator at the same k).
-func RunKSweep(sc *Scenario, cfg RunConfig, ks []int) ([]Measurement, error) {
+func RunKSweep(ctx context.Context, sc *Scenario, cfg RunConfig, ks []int) ([]Measurement, error) {
 	if len(ks) == 0 {
 		ks = []int{1, 3, 5, 10}
 	}
@@ -50,7 +51,7 @@ func RunKSweep(sc *Scenario, cfg RunConfig, ks []int) ([]Measurement, error) {
 	for _, k := range ks {
 		c := cfg
 		c.K = k
-		ms, err := runSeries(sc, c, ecoOnlyFactory(), fmt.Sprintf("k=%d", k))
+		ms, err := runSeries(ctx, sc, c, ecoOnlyFactory(), fmt.Sprintf("k=%d", k))
 		if err != nil {
 			return nil, err
 		}

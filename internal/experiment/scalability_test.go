@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func TestRunChargerScalability(t *testing.T) {
 	sc := tinyScenario(t)
 	cfg := RunConfig{Repetitions: 1, TripsPerRep: 2, SegmentLenM: 4000}
-	ms, err := RunChargerScalability(sc, cfg, []int{100, 400})
+	ms, err := RunChargerScalability(context.Background(), sc, cfg, []int{100, 400})
 	if err != nil {
 		t.Fatalf("RunChargerScalability: %v", err)
 	}
@@ -36,7 +37,7 @@ func TestRunChargerScalability(t *testing.T) {
 func TestRunKSweep(t *testing.T) {
 	sc := tinyScenario(t)
 	cfg := RunConfig{Repetitions: 1, TripsPerRep: 2, SegmentLenM: 4000}
-	ms, err := RunKSweep(sc, cfg, []int{1, 5})
+	ms, err := RunKSweep(context.Background(), sc, cfg, []int{1, 5})
 	if err != nil {
 		t.Fatalf("RunKSweep: %v", err)
 	}
