@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz bench bench-smoke figures examples clean
+.PHONY: all build test race vet lint chaos fuzz bench bench-smoke figures examples clean
 
-all: build vet lint test bench-smoke
+all: build vet lint test chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ vet:
 # Repo-specific static analysis (see docs/lint.md). Nonzero exit on findings.
 lint:
 	$(GO) run ./cmd/ecolint ./...
+
+# Chaos suite under the race detector: deterministic fault injection at
+# 0%/10%/30% through every ranking method and the EIS client/server (see
+# docs/resilience.md). Rate 0 must be byte-identical to the fault-free
+# engine; nonzero rates must keep serving valid, correctly tagged tables.
+chaos:
+	$(GO) test -race -run Chaos ./internal/cknn ./internal/eis
 
 # Smoke-run every fuzz target briefly; the seed corpora already run as part
 # of `make test`, this explores beyond them. go test accepts one -fuzz

@@ -22,28 +22,36 @@ import (
 	"time"
 
 	"ecocharge/internal/experiment"
+	"ecocharge/internal/fault"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, design, horizon or all")
-		scale   = flag.Float64("scale", 0.002, "trip-count scale relative to the paper's full datasets")
-		seed    = flag.Int64("seed", 42, "scenario seed")
-		reps    = flag.Int("reps", 5, "measurement repetitions (paper: ~10)")
-		trips   = flag.Int("trips", 8, "trips sampled per repetition")
-		k       = flag.Int("k", 3, "chargers per Offering Table")
-		workers = flag.Int("workers", 0, "sweep-cell worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-		dataset = flag.String("dataset", "", "restrict to one dataset profile (default: all four)")
-		csvP    = flag.String("csv", "", "also export all measurements to this CSV file")
-		jsonP   = flag.String("json", "", "also export machine-readable benchmark rows to this JSON file")
-		commit  = flag.String("commit", "", "commit hash recorded in the JSON export (default: build info)")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, design, horizon or all")
+		scale     = flag.Float64("scale", 0.002, "trip-count scale relative to the paper's full datasets")
+		seed      = flag.Int64("seed", 42, "scenario seed")
+		reps      = flag.Int("reps", 5, "measurement repetitions (paper: ~10)")
+		trips     = flag.Int("trips", 8, "trips sampled per repetition")
+		k         = flag.Int("k", 3, "chargers per Offering Table")
+		workers   = flag.Int("workers", 0, "sweep-cell worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		dataset   = flag.String("dataset", "", "restrict to one dataset profile (default: all four)")
+		csvP      = flag.String("csv", "", "also export all measurements to this CSV file")
+		jsonP     = flag.String("json", "", "also export machine-readable benchmark rows to this JSON file")
+		commit    = flag.String("commit", "", "commit hash recorded in the JSON export (default: build info)")
+		faultRate = flag.Float64("faultrate", 0, "deterministic EC-source fault rate in [0,1] (0 = no injection)")
+		faultSeed = flag.Int64("faultseed", 1, "fault-injection PRNG seed (independent of -seed)")
 	)
 	flag.Parse()
 
+	if *faultRate < 0 || *faultRate > 1 {
+		fmt.Fprintln(os.Stderr, "ecobench: -faultrate must be in [0,1]")
+		os.Exit(1)
+	}
 	cfg := experiment.RunConfig{Repetitions: *reps, TripsPerRep: *trips, K: *k, Workers: *workers}
 	opts := runOpts{
 		fig: *fig, dataset: *dataset, scale: *scale, seed: *seed,
 		cfg: cfg, csvPath: *csvP, jsonPath: *jsonP, commit: *commit,
+		faultRate: *faultRate, faultSeed: *faultSeed,
 	}
 	if err := run(context.Background(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "ecobench:", err)
@@ -53,29 +61,32 @@ func main() {
 
 // runOpts carries the resolved command-line configuration.
 type runOpts struct {
-	fig      string
-	dataset  string // empty = all profiles
-	scale    float64
-	seed     int64
-	cfg      experiment.RunConfig
-	csvPath  string
-	jsonPath string
-	commit   string
+	fig       string
+	dataset   string // empty = all profiles
+	scale     float64
+	seed      int64
+	cfg       experiment.RunConfig
+	csvPath   string
+	jsonPath  string
+	commit    string
+	faultRate float64
+	faultSeed int64
 }
 
 // benchRow is one machine-readable benchmark record of the -json export:
 // one method on one dataset under one figure configuration, aggregated over
 // repetitions. Rows are comparable across commits via the commit field.
 type benchRow struct {
-	Commit  string  `json:"commit"`
-	GOOS    string  `json:"goos"`
-	Workers int     `json:"workers"`
-	Fig     string  `json:"fig"`
-	Dataset string  `json:"dataset"`
-	Method  string  `json:"method"`
-	Config  string  `json:"config,omitempty"`
-	SCPct   float64 `json:"sc_pct"`
-	FtMs    float64 `json:"ft_ms"`
+	Commit    string  `json:"commit"`
+	GOOS      string  `json:"goos"`
+	Workers   int     `json:"workers"`
+	Fig       string  `json:"fig"`
+	Dataset   string  `json:"dataset"`
+	Method    string  `json:"method"`
+	Config    string  `json:"config,omitempty"`
+	FaultRate float64 `json:"fault_rate"`
+	SCPct     float64 `json:"sc_pct"`
+	FtMs      float64 `json:"ft_ms"`
 }
 
 // resolveCommit prefers the -commit flag, then the VCS revision stamped into
@@ -170,6 +181,16 @@ func run(ctx context.Context, o runOpts) error {
 			return err
 		}
 	}
+	if o.faultRate > 0 {
+		// Degrade every scenario environment with the same deterministic
+		// policy so methods are compared under identical source outages.
+		for _, sc := range scenarios {
+			cp := *sc.Env
+			cp.Faults = fault.Sources(fault.New(fault.Config{Seed: o.faultSeed, Rate: o.faultRate}))
+			sc.Env = &cp
+		}
+		fmt.Printf("fault injection: rate %g, seed %d\n", o.faultRate, o.faultSeed)
+	}
 	fmt.Printf("scenarios at scale %g (trips per dataset: ", o.scale)
 	for i, sc := range scenarios {
 		if i > 0 {
@@ -214,7 +235,8 @@ func run(ctx context.Context, o runOpts) error {
 			rows = append(rows, benchRow{
 				Commit: commit, GOOS: runtime.GOOS, Workers: workers,
 				Fig: spec.id, Dataset: m.Dataset, Method: m.Method, Config: m.Config,
-				SCPct: m.SCPercent.Mean, FtMs: m.FtMillis.Mean,
+				FaultRate: o.faultRate,
+				SCPct:     m.SCPercent.Mean, FtMs: m.FtMillis.Mean,
 			})
 		}
 	}

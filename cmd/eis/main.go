@@ -1,6 +1,8 @@
 // Command eis runs the EcoCharge Information Server (Mode 2 of the paper's
 // architecture): it assembles a dataset scenario and serves the JSON API on
-// the given address.
+// the given address. SIGINT/SIGTERM trigger a graceful shutdown: the
+// listener closes immediately, in-flight requests get the drain deadline to
+// finish.
 //
 // Example:
 //
@@ -8,62 +10,128 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ecocharge/internal/eis"
 	"ecocharge/internal/experiment"
+	"ecocharge/internal/fault"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dataset = flag.String("dataset", "Oldenburg", "dataset profile: Oldenburg, California, T-drive, Geolife")
-		seed    = flag.Int64("seed", 42, "scenario seed")
-		ttl     = flag.Duration("cache-ttl", 5*time.Minute, "server-side dynamic cache TTL")
-		cell    = flag.Float64("cache-cell", 2000, "server-side cache cell size in meters")
-		workers = flag.Int("workers", 0, "ranking parallelism per request (0 = GOMAXPROCS, 1 = sequential)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataset   = flag.String("dataset", "Oldenburg", "dataset profile: Oldenburg, California, T-drive, Geolife")
+		seed      = flag.Int64("seed", 42, "scenario seed")
+		ttl       = flag.Duration("cache-ttl", 5*time.Minute, "server-side dynamic cache TTL")
+		cell      = flag.Float64("cache-cell", 2000, "server-side cache cell size in meters")
+		workers   = flag.Int("workers", 0, "ranking parallelism per request (0 = GOMAXPROCS, 1 = sequential)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+		faultRate = flag.Float64("faultrate", 0, "injected EC-source fault rate in [0,1] (chaos/testing; 0 disables)")
+		faultSeed = flag.Int64("faultseed", 1, "fault-injection seed (with -faultrate)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	handler, desc, err := newHandler(*dataset, *seed, *ttl, *cell, *workers, logger)
+	cfg := handlerConfig{
+		dataset: *dataset, seed: *seed, ttl: *ttl, cellM: *cell, workers: *workers,
+		faultRate: *faultRate, faultSeed: *faultSeed,
+	}
+	handler, desc, err := newHandler(cfg, logger)
 	if err != nil {
 		logger.Fatalf("eis: %v", err)
 	}
 	logger.Printf("eis: serving %s on %s", desc, *addr)
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	if err := httpSrv.ListenAndServe(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, handler, *drain, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "eis:", err)
 		os.Exit(1)
 	}
 }
 
+// run serves until the context is cancelled (a shutdown signal), then
+// drains in-flight requests for up to drain before forcing connections
+// closed. The connection timeouts bound slow or stalled clients so one bad
+// peer cannot hold a handler goroutine forever (slowloris protection).
+func run(ctx context.Context, addr string, handler http.Handler, drain time.Duration, logger *log.Logger) error {
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		// The listener died on its own (port in use, etc.).
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("eis: shutdown signal received, draining for up to %v", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("eis: drained, bye")
+	return nil
+}
+
+// handlerConfig carries the scenario and resilience knobs of newHandler.
+type handlerConfig struct {
+	dataset   string
+	seed      int64
+	ttl       time.Duration
+	cellM     float64
+	workers   int
+	faultRate float64
+	faultSeed int64
+}
+
 // newHandler assembles the scenario and returns the EIS routes plus a
 // human-readable description of what is being served.
-func newHandler(dataset string, seed int64, ttl time.Duration, cellM float64, workers int, logger *log.Logger) (http.Handler, string, error) {
+func newHandler(cfg handlerConfig, logger *log.Logger) (http.Handler, string, error) {
 	// The EIS only needs the environment; trips are client business.
-	sc, err := experiment.BuildScenario(dataset, 0.001, seed)
+	sc, err := experiment.BuildScenario(cfg.dataset, 0.001, cfg.seed)
 	if err != nil {
 		return nil, "", fmt.Errorf("building scenario: %w", err)
 	}
-	srv := eis.NewServer(sc.Env, eis.ServerOptions{
-		CacheTTL:   ttl,
-		CacheCellM: cellM,
-		Workers:    workers,
+	env := sc.Env
+	desc := fmt.Sprintf("%s (%d chargers, %d road nodes)",
+		sc.Name, env.Chargers.Len(), sc.Graph.NumNodes())
+	if cfg.faultRate > 0 {
+		// Degrade EC sources at the configured rate: tables keep coming,
+		// affected components carry the Degraded tag. The env copy keeps the
+		// scenario itself pristine.
+		envCopy := *env
+		envCopy.Faults = fault.Sources(fault.New(fault.Config{Seed: cfg.faultSeed, Rate: cfg.faultRate}))
+		env = &envCopy
+		desc += fmt.Sprintf(", fault rate %.0f%%", 100*cfg.faultRate)
+	}
+	srv := eis.NewServer(env, eis.ServerOptions{
+		CacheTTL:   cfg.ttl,
+		CacheCellM: cfg.cellM,
+		Workers:    cfg.workers,
 		Logger:     logger,
 	})
 	mw := &eis.Middleware{MaxInFlight: 256, Logger: logger}
-	desc := fmt.Sprintf("%s (%d chargers, %d road nodes)",
-		sc.Name, sc.Env.Chargers.Len(), sc.Graph.NumNodes())
 	return mw.Wrap(srv.Handler()), desc, nil
 }

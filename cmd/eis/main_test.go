@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
 	"io"
+	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,7 +16,9 @@ func TestNewHandlerServes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario build is slow")
 	}
-	handler, desc, err := newHandler("Oldenburg", 1, time.Minute, 2000, 0, nil)
+	handler, desc, err := newHandler(handlerConfig{
+		dataset: "Oldenburg", seed: 1, ttl: time.Minute, cellM: 2000,
+	}, nil)
 	if err != nil {
 		t.Fatalf("newHandler: %v", err)
 	}
@@ -44,7 +49,96 @@ func TestNewHandlerServes(t *testing.T) {
 }
 
 func TestNewHandlerBadDataset(t *testing.T) {
-	if _, _, err := newHandler("nope", 1, time.Minute, 2000, 0, nil); err == nil {
+	if _, _, err := newHandler(handlerConfig{dataset: "nope", seed: 1, ttl: time.Minute, cellM: 2000}, nil); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
+}
+
+func TestNewHandlerFaultRateDescribed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario build is slow")
+	}
+	_, desc, err := newHandler(handlerConfig{
+		dataset: "Oldenburg", seed: 1, ttl: time.Minute, cellM: 2000,
+		faultRate: 0.3, faultSeed: 7,
+	}, nil)
+	if err != nil {
+		t.Fatalf("newHandler: %v", err)
+	}
+	if !strings.Contains(desc, "fault rate 30%") {
+		t.Errorf("description %q does not advertise the fault rate", desc)
+	}
+}
+
+// TestRunGracefulShutdown exercises the signal-driven drain: cancel the run
+// context (as SIGTERM would) and assert run returns cleanly after draining
+// an in-flight request.
+func TestRunGracefulShutdown(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/slow" {
+			close(started)
+			<-release
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // run re-listens on the same port
+
+	ctx, cancel := context.WithCancel(context.Background())
+	logger := log.New(io.Discard, "", 0)
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, addr, handler, 5*time.Second, logger) }()
+
+	// Wait for the listener, then park one request in the handler.
+	base := "http://" + addr
+	waitForServer(t, base+"/fast")
+	slowDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+		slowDone <- err
+	}()
+	<-started
+
+	cancel() // the SIGTERM path
+	select {
+	case err := <-runErr:
+		t.Fatalf("run returned %v before draining the in-flight request", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after drain")
+	}
+}
+
+func waitForServer(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server did not start listening")
 }

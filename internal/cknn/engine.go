@@ -35,20 +35,39 @@ func (e *Engine) evaluate(c *charger.Charger, d DeroutingMaps, q Query) (Entry, 
 		return Entry{}, false
 	}
 	eta := etaAt(q.ETABase, travel)
+	var deg Degraded
 
 	// L (Alg. 1 lines 5–6): forecast production (solar + optional wind)
 	// capped by the charger's electrical rate, normalized by the
-	// environment's maximum level.
-	prod := e.Env.ProductionForecast(c, eta, q.Now)
-	l := capAbove(prod, c.Rate.KW()).Normalize(e.Env.MaxLKW)
+	// environment's maximum level. A failed weather fetch degrades L to
+	// the ignorance bound instead of erroring.
+	l, ok := e.Env.LForecast(c, eta, q.Now)
+	if ok {
+		l = capAbove(l, c.Rate.KW()).Normalize(e.Env.MaxLKW)
+	} else {
+		l = ignoranceBound()
+		deg |= DegradedL
+	}
 
 	// A (lines 7–8): availability from the busy timetable at the ETA.
-	a := e.Env.Avail.ForecastAvailability(c.ID, &c.Timetable, eta, q.Now)
+	a, ok := e.Env.AForecast(c, eta, q.Now)
+	if !ok {
+		a = ignoranceBound()
+		deg |= DegradedA
+	}
 
-	// D (lines 9–10): normalized derouting cost.
-	dn := derout.Normalize(e.Env.MaxDeroutSec)
+	// D (lines 9–10): normalized derouting cost. The expansion itself is
+	// local (the road graph is in memory), so only the traffic band can
+	// fail; the ETA keeps the graph-derived travel estimate either way.
+	var dn interval.I
+	if e.Env.DSourceOK(c.ID, q.Now) {
+		dn = derout.Normalize(e.Env.MaxDeroutSec)
+	} else {
+		dn = ignoranceBound()
+		deg |= DegradedD
+	}
 
-	comp := Components{L: l, A: a, D: dn, ETA: eta, DeroutSecM: derout.Mid()}
+	comp := Components{L: l, A: a, D: dn, ETA: eta, DeroutSecM: derout.Mid(), Degraded: deg}
 	return Entry{Charger: c, SC: comp.SC(q.Weights), Comp: comp}, true
 }
 
@@ -91,6 +110,12 @@ func (e *Engine) pruneBound(c *charger.Charger, d DeroutingMaps, q Query) (float
 	dn, ok := d.Cost(c.Node)
 	if !ok {
 		return 0, false
+	}
+	if !e.Env.DSourceOK(c.ID, q.Now) {
+		// Degraded D widens to [0,1], so its optimistic SC contribution is
+		// the full weight: only the loose bound is sound here. FaultPolicy
+		// purity guarantees the evaluation will see the same decision.
+		return q.Weights.L + q.Weights.A + q.Weights.D, true
 	}
 	dNorm := dn.Normalize(e.Env.MaxDeroutSec)
 	return q.Weights.L + q.Weights.A + (1-dNorm.Min)*q.Weights.D, true

@@ -33,6 +33,80 @@ type Env struct {
 	// seconds. Chargers costing more than this to visit are treated as
 	// maximally expensive (D = 1).
 	MaxDeroutSec float64
+
+	// Faults, when non-nil, can fail individual component fetches: the
+	// engine then degrades that component to its ignorance bound [0,1]
+	// and tags the entry instead of erroring (the graceful-degradation
+	// contract of docs/resilience.md). Assign it before the environment is
+	// shared between goroutines; nil means every source always serves.
+	Faults FaultPolicy
+}
+
+// Component names one Estimated Component for fault bookkeeping.
+type Component uint8
+
+// The three Estimated Components of the paper, in bitmask order.
+const (
+	CompL Component = iota // sustainable charging level (weather source)
+	CompA                  // availability (busy-timetable source)
+	CompD                  // derouting cost (traffic source)
+)
+
+// String returns the component's single-letter name.
+func (c Component) String() string {
+	switch c {
+	case CompL:
+		return "L"
+	case CompA:
+		return "A"
+	case CompD:
+		return "D"
+	}
+	return "?"
+}
+
+// FaultPolicy decides per fetch whether the external source backing a
+// component could serve it. Implementations must be safe for concurrent
+// use and pure over (component, charger, issue time) between harness
+// steps: the engine may consult the same decision more than once (prune
+// bound and evaluation) and the parallel filtering phase must see the
+// answers the sequential oracle saw.
+type FaultPolicy interface {
+	// FetchOK reports whether the source backing comp served a fresh
+	// estimate for the charger, for a query issued at the given time.
+	FetchOK(comp Component, chargerID int64, issued time.Time) bool
+}
+
+// sourceOK is the nil-tolerant form of the policy check.
+func (env *Env) sourceOK(comp Component, chargerID int64, issued time.Time) bool {
+	return env.Faults == nil || env.Faults.FetchOK(comp, chargerID, issued)
+}
+
+// LForecast is the fallible form of ProductionForecast: ok is false when
+// the weather source failed or served stale data, in which case the caller
+// must degrade L to its ignorance bound.
+func (env *Env) LForecast(c *charger.Charger, at, issued time.Time) (interval.I, bool) {
+	if !env.sourceOK(CompL, c.ID, issued) {
+		return interval.I{}, false
+	}
+	return env.ProductionForecast(c, at, issued), true
+}
+
+// AForecast is the fallible availability estimate: ok is false when the
+// busy-timetable source failed the fetch.
+func (env *Env) AForecast(c *charger.Charger, at, issued time.Time) (interval.I, bool) {
+	if !env.sourceOK(CompA, c.ID, issued) {
+		return interval.I{}, false
+	}
+	return env.Avail.ForecastAvailability(c.ID, &c.Timetable, at, issued), true
+}
+
+// DSourceOK reports whether the traffic source could price the charger's
+// derouting for an estimate issued at the given time. The road network
+// itself is local, so a traffic outage degrades only the congestion band —
+// the engine keeps the graph-derived ETA and widens D to [0,1].
+func (env *Env) DSourceOK(chargerID int64, issued time.Time) bool {
+	return env.sourceOK(CompD, chargerID, issued)
 }
 
 // EnvConfig carries the optional knobs of NewEnv.

@@ -337,11 +337,26 @@ func (m *EcoCharge) adapt(cached OfferingTable, q Query) OfferingTable {
 		if approxSec < 0 {
 			approxSec = 0
 		}
-		spread := e.Comp.D.Width() / 2
-		dMid := approxSec / m.engine.Env.MaxDeroutSec
-		dn := interval.FromBounds(dMid-spread, dMid+spread).Clamp(0, 1)
 		comp := e.Comp
-		comp.D = dn
+		// D is re-derived at this query's issue time, so its degradation is
+		// re-decided too: the cached L/A estimates (and their Degraded bits)
+		// are reused as-is, but a traffic outage now widens D regardless of
+		// what the cached table saw, and a recovered source re-estimates it.
+		if !m.engine.Env.DSourceOK(e.Charger.ID, q.Now) {
+			comp.D = ignoranceBound()
+			comp.Degraded |= DegradedD
+		} else {
+			spread := e.Comp.D.Width() / 2
+			if e.Comp.Degraded.Has(CompD) {
+				// The cached D was the ignorance bound: its width carries no
+				// information about the estimate, so adapt from the point
+				// value instead of inheriting the [0,1] spread.
+				spread = 0
+			}
+			dMid := approxSec / m.engine.Env.MaxDeroutSec
+			comp.D = interval.FromBounds(dMid-spread, dMid+spread).Clamp(0, 1)
+			comp.Degraded &^= DegradedD
+		}
 		comp.DeroutSecM = approxSec
 		out.Entries = append(out.Entries, Entry{
 			Charger: e.Charger,

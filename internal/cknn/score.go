@@ -63,6 +63,42 @@ func (w Weights) Normalized() Weights {
 	return Weights{L: w.L / s, A: w.A / s, D: w.D / s}
 }
 
+// Degraded is a bitmask naming the components that fell back to their
+// ignorance bound [0,1] because the backing source failed or served stale
+// data. Zero means every component was estimated from a live source.
+type Degraded uint8
+
+// One bit per Estimated Component, aligned with the Component constants so
+// 1<<comp is the bit of component comp.
+const (
+	DegradedL Degraded = 1 << CompL
+	DegradedA Degraded = 1 << CompA
+	DegradedD Degraded = 1 << CompD
+)
+
+// Has reports whether the component's bit is set.
+func (d Degraded) Has(c Component) bool { return d&(1<<c) != 0 }
+
+// String renders the set bits as "L|A|D" fragments; empty when none.
+func (d Degraded) String() string {
+	s := ""
+	for _, c := range [...]Component{CompL, CompA, CompD} {
+		if d.Has(c) {
+			if s != "" {
+				s += "|"
+			}
+			s += c.String()
+		}
+	}
+	return s
+}
+
+// ignoranceBound is the degraded form of a normalized component: with the
+// backing source down, the only sound statement is "somewhere in [0,1]" —
+// the interval algebra of eqs. 4–6 then carries the uncertainty through SC
+// instead of turning the outage into an error.
+func ignoranceBound() interval.I { return interval.New(0, 1) }
+
 // Components are the normalized Estimated Components of one charger at one
 // query: every field lies in [0, 1]. D is the normalized derouting cost
 // where 0 means "on the route" and 1 means "at the derouting budget".
@@ -73,6 +109,11 @@ type Components struct {
 
 	ETA        time.Time // estimated arrival at the charger
 	DeroutSecM float64   // mid-estimate derouting seconds (diagnostics)
+	// Degraded names the components that were defaulted to [0,1] instead
+	// of estimated (source failure). It does not enter SC — the widened
+	// intervals already do — but callers surface it so clients can tell an
+	// estimate from a default.
+	Degraded Degraded
 }
 
 // SC applies eqs. 4–5: SC = L·w1 + A·w2 + (1−D)·w3 as an interval.

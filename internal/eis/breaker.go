@@ -1,0 +1,118 @@
+package eis
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned by the client without touching the network
+// while an endpoint's circuit breaker is open: the endpoint failed
+// repeatedly and the cooldown since the last failure has not elapsed.
+// Callers can errors.Is against it to distinguish fail-fast from a fresh
+// transport failure.
+var ErrCircuitOpen = errors.New("eis client: circuit open")
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	// breakerClosed passes requests through, counting consecutive faults.
+	breakerClosed breakerState = iota
+	// breakerOpen fails fast until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen lets exactly one probe through; its outcome decides
+	// between closing and re-opening.
+	breakerHalfOpen
+)
+
+// breaker is a per-endpoint circuit breaker. All methods are safe for
+// concurrent use. Time is read through the injected clock only, so tests
+// drive the cooldown without sleeping.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int // consecutive faults while closed
+	openedAt  time.Time
+	probing   bool // half-open: a probe is in flight
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may proceed. In the open state it either
+// fails fast or — once the cooldown has elapsed — transitions to half-open
+// and admits a single probe; concurrent requests during the probe fail fast.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// onSuccess records a fault-free exchange: it closes the breaker from any
+// state and clears the fault count.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// onFailure records a fault: the threshold-th consecutive fault opens a
+// closed breaker, and a failed half-open probe re-opens immediately.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	case breakerOpen:
+		// A request admitted before the state flipped lost its race; the
+		// breaker is already open, refresh nothing.
+	}
+}
+
+// snapshot returns the state for tests and diagnostics.
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

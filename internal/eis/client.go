@@ -8,28 +8,106 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
 	"time"
 
 	"ecocharge/internal/charger"
 	"ecocharge/internal/geo"
 )
 
+// maxResponseBytes bounds how much of a response body the client reads: a
+// misbehaving server cannot make a vehicle buffer unbounded data.
+const maxResponseBytes = 8 << 20
+
+// ClientOptions tune the client's resilience machinery. The zero value
+// selects production defaults.
+type ClientOptions struct {
+	// HTTPClient performs the exchanges. Nil selects a default with a 10 s
+	// timeout.
+	HTTPClient *http.Client
+	// MaxRetries bounds how many times an idempotent GET is re-attempted
+	// after a retryable failure (so up to MaxRetries+1 exchanges). 0 selects
+	// 3; negative disables retries.
+	MaxRetries int
+	// BackoffBase is the first retry delay; each further retry doubles it.
+	// 0 selects 100 ms.
+	BackoffBase time.Duration
+	// BackoffCap caps the exponential delay. 0 selects 2 s.
+	BackoffCap time.Duration
+	// JitterSeed decorrelates the deterministic jitter of concurrent
+	// clients; any value is fine, equal seeds retry in lockstep.
+	JitterSeed int64
+	// BreakerThreshold is the number of consecutive faults that opens an
+	// endpoint's circuit. 0 selects 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit fails fast before
+	// admitting a half-open probe. 0 selects 5 s.
+	BreakerCooldown time.Duration
+	// Clock supplies the time for breaker cooldowns. Nil selects time.Now.
+	// Tests inject a fake to step through breaker states without sleeping.
+	Clock func() time.Time
+	// Sleep waits between retries. Nil selects a context-aware timer wait.
+	// Tests inject a recorder so the suite never sleeps for real.
+	Sleep func(time.Duration)
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
 // Client talks to an EcoCharge Information Server. It covers Mode 2
 // (server-computed Offering Tables) and the data pulls Mode 3 edge
 // computation needs.
+//
+// Resilience: idempotent GETs are retried with capped exponential backoff
+// and deterministic jitter, honoring Retry-After and the request context;
+// each endpoint carries a circuit breaker that fails fast (ErrCircuitOpen)
+// during sustained outages and recovers through a half-open probe. POSTs are
+// never retried (the exchange is not known to be idempotent) but share the
+// breaker bookkeeping.
 type Client struct {
-	base string
-	hc   *http.Client
+	base     string
+	opts     ClientOptions
+	breakers breakerSet
 }
 
 // NewClient returns a client for the EIS at baseURL (e.g.
-// "http://localhost:8080"). A nil httpClient selects a default with a 10 s
-// timeout.
+// "http://localhost:8080") with default resilience options. A nil
+// httpClient selects a default with a 10 s timeout.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 10 * time.Second}
-	}
-	return &Client{base: baseURL, hc: httpClient}
+	return NewClientOpts(baseURL, ClientOptions{HTTPClient: httpClient})
+}
+
+// NewClientOpts returns a client with explicit resilience options.
+func NewClientOpts(baseURL string, opts ClientOptions) *Client {
+	c := &Client{base: baseURL, opts: opts.withDefaults()}
+	c.breakers.init(c.opts.BreakerThreshold, c.opts.BreakerCooldown, c.opts.Clock)
+	return c
 }
 
 func (c *Client) get(ctx context.Context, path string, query url.Values, out interface{}) error {
@@ -57,30 +135,177 @@ func (c *Client) post(ctx context.Context, path string, body, out interface{}) e
 	return c.do(req, out)
 }
 
+// attemptOutcome classifies one exchange for the retry loop and the
+// breaker.
+type attemptOutcome struct {
+	err        error
+	retryable  bool          // worth re-attempting (idempotent methods only)
+	fault      bool          // counts against the endpoint's breaker
+	retryAfter time.Duration // server-requested delay (Retry-After), 0 if none
+}
+
+// do performs the exchange with retries (idempotent GETs only), backoff,
+// and per-endpoint circuit breaking.
 func (c *Client) do(req *http.Request, out interface{}) error {
-	resp, err := c.hc.Do(req)
+	br := c.breakers.forEndpoint(req.URL.Path)
+	retries := 0
+	if req.Method == http.MethodGet {
+		retries = c.opts.MaxRetries
+	}
+	var last attemptOutcome
+	for attempt := 0; ; attempt++ {
+		if err := br.allow(); err != nil {
+			return fmt.Errorf("eis client: %s %s: %w", req.Method, req.URL.Path, err)
+		}
+		last = c.attempt(req.Clone(req.Context()), out)
+		if last.fault {
+			br.onFailure()
+		} else {
+			br.onSuccess()
+		}
+		if last.err == nil || !last.retryable || attempt >= retries {
+			return last.err
+		}
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return last.err
+		}
+		delay := c.backoff(req.URL.Path, attempt)
+		if last.retryAfter > 0 {
+			delay = last.retryAfter
+		}
+		if err := c.wait(req.Context(), delay); err != nil {
+			return last.err
+		}
+	}
+}
+
+// attempt performs a single exchange and classifies the result.
+func (c *Client) attempt(req *http.Request, out interface{}) attemptOutcome {
+	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
-		return fmt.Errorf("eis client: %s %s: %w", req.Method, req.URL.Path, err)
+		// Transport-level failure: the server may never have seen the
+		// request, so an idempotent retry is safe. A dead context is not
+		// retryable — do checks it before sleeping.
+		return attemptOutcome{
+			err:       fmt.Errorf("eis client: %s %s: %w", req.Method, req.URL.Path, err),
+			retryable: true,
+			fault:     true,
+		}
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if err != nil {
-		return fmt.Errorf("eis client: reading response: %w", err)
+		// The exchange died mid-body (connection reset, context cancelled).
+		return attemptOutcome{
+			err:       fmt.Errorf("eis client: reading response: %w", err),
+			retryable: true,
+			fault:     true,
+		}
+	}
+	if len(body) > maxResponseBytes {
+		// Oversized responses are truncated by policy, never buffered; the
+		// server is misbehaving, not unreachable, so this is terminal.
+		return attemptOutcome{
+			err: fmt.Errorf("eis client: %s: response exceeds %d bytes", req.URL.Path, maxResponseBytes),
+		}
 	}
 	if resp.StatusCode != http.StatusOK {
-		var e ErrorResponse
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("eis client: %s: %s (HTTP %d)", req.URL.Path, e.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("eis client: %s: HTTP %d", req.URL.Path, resp.StatusCode)
+		return c.classifyStatus(req, resp, body)
 	}
 	if out == nil {
-		return nil
+		return attemptOutcome{}
 	}
 	if err := json.Unmarshal(body, out); err != nil {
-		return fmt.Errorf("eis client: decoding response: %w", err)
+		// The server answered 200 with an unparseable body; retrying the
+		// same request would decode the same garbage.
+		return attemptOutcome{err: fmt.Errorf("eis client: decoding response: %w", err)}
 	}
-	return nil
+	return attemptOutcome{}
+}
+
+// classifyStatus maps a non-200 response to an outcome: overload and
+// gateway statuses are retryable breaker faults honoring Retry-After, other
+// statuses (validation errors and the like) are terminal answers.
+func (c *Client) classifyStatus(req *http.Request, resp *http.Response, body []byte) attemptOutcome {
+	msg := fmt.Errorf("eis client: %s: HTTP %d", req.URL.Path, resp.StatusCode)
+	var e ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = fmt.Errorf("eis client: %s: %s (HTTP %d)", req.URL.Path, e.Error, resp.StatusCode)
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		o := attemptOutcome{err: msg, retryable: true, fault: true}
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			o.retryAfter = time.Duration(s) * time.Second
+		}
+		return o
+	default:
+		return attemptOutcome{err: msg}
+	}
+}
+
+// backoff computes the capped exponential delay for a retry with
+// deterministic jitter in [50%, 100%] of the nominal delay, decorrelated
+// per (seed, endpoint, attempt) so lockstep clients spread out without any
+// wall-clock or global-PRNG reads.
+func (c *Client) backoff(endpoint string, attempt int) time.Duration {
+	d := c.opts.BackoffBase << uint(attempt)
+	if d > c.opts.BackoffCap || d <= 0 {
+		d = c.opts.BackoffCap
+	}
+	h := uint64(c.opts.JitterSeed)
+	for i := 0; i < len(endpoint); i++ {
+		h = (h ^ uint64(endpoint[i])) * 1099511628211
+	}
+	h = (h ^ uint64(attempt)) * 1099511628211
+	frac := float64(h>>11) / float64(1<<53) // uniform [0,1)
+	return time.Duration((0.5 + 0.5*frac) * float64(d))
+}
+
+// wait sleeps for d or until the context dies, whichever is first. An
+// injected Sleep (tests) is called unconditionally, then the context is
+// consulted.
+func (c *Client) wait(ctx context.Context, d time.Duration) error {
+	if c.opts.Sleep != nil {
+		c.opts.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// breakerSet lazily creates one breaker per endpoint path.
+type breakerSet struct {
+	mu        sync.Mutex
+	m         map[string]*breaker
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+}
+
+func (s *breakerSet) init(threshold int, cooldown time.Duration, now func() time.Time) {
+	s.m = make(map[string]*breaker)
+	s.threshold = threshold
+	s.cooldown = cooldown
+	s.now = now
+}
+
+func (s *breakerSet) forEndpoint(path string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[path]
+	if !ok {
+		b = newBreaker(s.threshold, s.cooldown, s.now)
+		s.m[path] = b
+	}
+	return b
 }
 
 // Chargers fetches the chargers within radius meters of p.
@@ -132,13 +357,14 @@ func (c *Client) Offering(ctx context.Context, req OfferingRequest) (OfferingRes
 	return out, err
 }
 
-// Healthy reports whether the server answers its health check.
+// Healthy reports whether the server answers its health check. It bypasses
+// retries and breakers: health probes must observe the raw state.
 func (c *Client) Healthy(ctx context.Context) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
 		return false
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		return false
 	}

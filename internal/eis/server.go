@@ -1,6 +1,7 @@
 package eis
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -9,6 +10,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecocharge/internal/charger"
@@ -30,6 +32,15 @@ type ServerOptions struct {
 	// one trip evaluation uses at most Workers goroutines. 0 selects
 	// GOMAXPROCS; 1 runs the sequential reference path.
 	Workers int
+	// CacheMaxEntries bounds the response cache across all shards; when a
+	// shard fills, the entry closest to expiry is evicted. 0 selects 4096;
+	// negative disables the bound.
+	CacheMaxEntries int
+	// RequestTimeout is the per-request deadline installed on every
+	// request's context; handlers that outlive it answer 503 with
+	// Retry-After instead of holding the connection. 0 selects 15 s;
+	// negative disables the deadline.
+	RequestTimeout time.Duration
 	// Clock is overridable for tests; nil selects time.Now.
 	Clock func() time.Time
 	// Logger for request errors; nil silences logging.
@@ -46,6 +57,12 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.CacheMaxEntries == 0 {
+		o.CacheMaxEntries = 4096
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 15 * time.Second
+	}
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
@@ -59,7 +76,11 @@ type Server struct {
 	engine cknn.Engine
 	opts   ServerOptions
 
-	cache respCache
+	cache   respCache
+	flights flightGroup
+	// computes counts cache-miss table computations (diagnostics and the
+	// single-flight tests).
+	computes atomic.Int64
 }
 
 type cacheKey struct {
@@ -79,17 +100,31 @@ type cacheVal struct {
 // the fixed array stays cheap.
 const respCacheStripes = 16
 
+// sweepEvery is the amortization interval of the per-shard expiry sweep:
+// every sweepEvery-th put walks its shard and deletes expired entries, so
+// the cache's steady-state size is bounded by live entries plus one sweep
+// interval of garbage (the old behavior never deleted expired entries and
+// leaked every key ever cached).
+const sweepEvery = 64
+
 // respCache is the server-side dynamic cache, mutex-striped so concurrent
 // requests landing in different spatial cells never contend. Keys are
 // hashed (FNV-1a over the key's fixed-width fields) onto a shard; each
 // shard is an independently locked map.
+//
+// Hygiene: get deletes expired entries it touches, put sweeps its shard
+// every sweepEvery insertions, and a full shard evicts the entry closest to
+// expiry before inserting (maxPerShard 0 disables the bound).
 type respCache struct {
 	shards [respCacheStripes]respShard
+	// maxPerShard bounds each shard's entry count; 0 means unbounded.
+	maxPerShard int
 }
 
 type respShard struct {
-	mu sync.Mutex
-	m  map[cacheKey]cacheVal
+	mu   sync.Mutex
+	m    map[cacheKey]cacheVal
+	puts int // insertions since the last sweep
 }
 
 func (c *respCache) shard(key cacheKey) *respShard {
@@ -112,29 +147,97 @@ func (c *respCache) get(key cacheKey, now time.Time) (OfferingResponse, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v, ok := s.m[key]
-	if !ok || now.After(v.expires) {
+	if !ok {
+		return OfferingResponse{}, false
+	}
+	if now.After(v.expires) {
+		delete(s.m, key) // lazy expiry: reclaim on touch
 		return OfferingResponse{}, false
 	}
 	return v.resp, true
 }
 
-func (c *respCache) put(key cacheKey, resp OfferingResponse, expires time.Time) {
+func (c *respCache) put(key cacheKey, resp OfferingResponse, now, expires time.Time) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.m == nil {
 		s.m = make(map[cacheKey]cacheVal)
 	}
+	s.puts++
+	if s.puts%sweepEvery == 0 {
+		for k, v := range s.m {
+			if now.After(v.expires) {
+				delete(s.m, k)
+			}
+		}
+	}
+	if _, exists := s.m[key]; !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
+		s.evictOldestLocked()
+	}
 	s.m[key] = cacheVal{resp: resp, expires: expires}
+}
+
+// evictOldestLocked removes the entry closest to expiry — expired entries
+// sort first, so garbage is always reclaimed before live data. The linear
+// scan is fine at per-shard sizes (maxPerShard is a few hundred).
+func (s *respShard) evictOldestLocked() {
+	var (
+		oldest cacheKey
+		found  bool
+		at     time.Time
+	)
+	for k, v := range s.m {
+		if !found || v.expires.Before(at) {
+			oldest, at, found = k, v.expires, true
+		}
+	}
+	if found {
+		delete(s.m, oldest)
+	}
+}
+
+// entries reports the total cached-entry count (tests and diagnostics).
+func (c *respCache) entries() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // NewServer returns a server over the environment.
 func NewServer(env *cknn.Env, opts ServerOptions) *Server {
-	return &Server{
+	srv := &Server{
 		env:    env,
 		engine: cknn.Engine{Env: env},
 		opts:   opts.withDefaults(),
 	}
+	if srv.opts.CacheMaxEntries > 0 {
+		per := srv.opts.CacheMaxEntries / respCacheStripes
+		if per < 1 {
+			per = 1
+		}
+		srv.cache.maxPerShard = per
+	}
+	return srv
+}
+
+// withDeadline installs the per-request deadline on the request context so
+// every handler (and everything it calls) observes one budget; the deadline
+// propagates into the single-flight wait and any downstream work.
+func (s *Server) withDeadline(h http.Handler) http.Handler {
+	if s.opts.RequestTimeout <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // Handler returns the HTTP routes of the EIS.
@@ -151,7 +254,7 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = fmt.Fprintln(w, "ok") // client went away; nothing to do with the error
 	})
-	return mux
+	return s.withDeadline(mux)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
@@ -341,30 +444,78 @@ func (s *Server) handleOffering(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, "location not on the road network")
 		return
 	}
-	q := cknn.Query{
-		Anchor: p, AnchorNode: node, ReturnNode: node,
-		Now: now, ETABase: eta,
-		K: req.K, RadiusM: req.RadiusM, Weights: weights,
+
+	// Single-flight: concurrent cache misses for the same cell collapse to
+	// one computation; followers wait for the leader's table (or their own
+	// deadline) instead of stampeding the ranking engine.
+	resp, shared, err := s.flights.do(r.Context(), key, func() OfferingResponse {
+		s.computes.Add(1)
+		q := cknn.Query{
+			Anchor: p, AnchorNode: node, ReturnNode: node,
+			Now: now, ETABase: eta,
+			K: req.K, RadiusM: req.RadiusM, Weights: weights,
+		}
+		m := cknn.NewEcoCharge(s.env, cknn.EcoChargeOptions{RadiusM: req.RadiusM})
+		m.SetWorkers(s.opts.Workers)
+		table := m.Rank(q)
+		out := OfferingResponse{GeneratedAt: now}
+		for _, e := range table.Entries {
+			out.Entries = append(out.Entries, wireEntry(e))
+		}
+		s.cache.put(key, out, now, now.Add(s.opts.CacheTTL))
+		return out
+	})
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "offering computation did not finish in time: %v", err)
+		return
 	}
-	m := cknn.NewEcoCharge(s.env, cknn.EcoChargeOptions{RadiusM: req.RadiusM})
-	m.SetWorkers(s.opts.Workers)
-	table := m.Rank(q)
-	resp := OfferingResponse{GeneratedAt: now}
-	for _, e := range table.Entries {
-		resp.Entries = append(resp.Entries, OfferingEntry{
-			ChargerID: e.Charger.ID,
-			Lat:       e.Charger.P.Lat,
-			Lon:       e.Charger.P.Lon,
-			RateKW:    e.Charger.Rate.KW(),
-			SC:        toWire(e.SC),
-			L:         toWire(e.Comp.L),
-			A:         toWire(e.Comp.A),
-			D:         toWire(e.Comp.D),
-			ETA:       e.Comp.ETA,
-		})
-	}
-	s.cache.put(key, resp, now.Add(s.opts.CacheTTL))
+	resp.Cached = resp.Cached || shared
 	writeJSON(w, resp)
+}
+
+// flightGroup collapses concurrent computations of the same cache key into
+// one: the first caller becomes the leader and computes, followers block on
+// the leader's result or their own context, whichever ends first. The
+// leader always runs to completion so its work lands in the cache even when
+// every waiter gave up.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	resp OfferingResponse
+}
+
+// do returns the response, whether it was shared from another caller's
+// computation, and a context error when the wait was abandoned.
+func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() OfferingResponse) (OfferingResponse, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[cacheKey]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.resp, true, nil
+		case <-ctx.Done():
+			return OfferingResponse{}, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.resp = fn()
+	close(f.done)
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return f.resp, false, nil
 }
 
 func (s *Server) cacheKeyFor(p geo.Point, req OfferingRequest) cacheKey {

@@ -137,17 +137,7 @@ func (s *Server) handleTripOffering(w http.ResponseWriter, r *http.Request) {
 			Adapted:      res.Table.Adapted,
 		}
 		for _, e := range res.Table.Entries {
-			seg.Entries = append(seg.Entries, OfferingEntry{
-				ChargerID: e.Charger.ID,
-				Lat:       e.Charger.P.Lat,
-				Lon:       e.Charger.P.Lon,
-				RateKW:    e.Charger.Rate.KW(),
-				SC:        toWire(e.SC),
-				L:         toWire(e.Comp.L),
-				A:         toWire(e.Comp.A),
-				D:         toWire(e.Comp.D),
-				ETA:       e.Comp.ETA,
-			})
+			seg.Entries = append(seg.Entries, wireEntry(e))
 		}
 		ids := res.Table.IDs()
 		if len(resp.Segments) == 0 || !sameIDs(prev, ids) {

@@ -13,6 +13,7 @@ package eis
 import (
 	"time"
 
+	"ecocharge/internal/cknn"
 	"ecocharge/internal/interval"
 )
 
@@ -59,6 +60,29 @@ type OfferingEntry struct {
 	A         IntervalJSON `json:"a"`
 	D         IntervalJSON `json:"d"`
 	ETA       time.Time    `json:"eta"`
+	// Degraded is the cknn.Degraded bitmask of the entry: bit 0 = L,
+	// bit 1 = A, bit 2 = D. A set bit means that component's backing source
+	// failed and the interval above is the [0,1] ignorance bound, not an
+	// estimate. Omitted (0) when every component was estimated.
+	Degraded uint8 `json:"degraded,omitempty"`
+}
+
+// wireEntry converts one ranked engine entry to its wire form; every
+// endpoint emitting Offering Tables goes through it so the wire contract
+// (including the Degraded tag) cannot drift between endpoints.
+func wireEntry(e cknn.Entry) OfferingEntry {
+	return OfferingEntry{
+		ChargerID: e.Charger.ID,
+		Lat:       e.Charger.P.Lat,
+		Lon:       e.Charger.P.Lon,
+		RateKW:    e.Charger.Rate.KW(),
+		SC:        toWire(e.SC),
+		L:         toWire(e.Comp.L),
+		A:         toWire(e.Comp.A),
+		D:         toWire(e.Comp.D),
+		ETA:       e.Comp.ETA,
+		Degraded:  uint8(e.Comp.Degraded),
+	}
 }
 
 // OfferingResponse is the Mode 2 result.

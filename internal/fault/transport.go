@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Transport is an http.RoundTripper that injects deterministic faults in
+// front of an inner transport: outright failures (a transport error before
+// the request reaches the inner round tripper), staleness (the response
+// passes through with an X-Fault-Stale header for observability), and
+// latency (via an injectable sleep, so tests never block on real time).
+//
+// Each attempt is a distinct event — decisions consume the injector's
+// sequence counter — which is what gives client retries a chance to succeed
+// at nonzero fault rates.
+type Transport struct {
+	// Inner handles requests the injector lets through. Nil selects
+	// http.DefaultTransport.
+	Inner http.RoundTripper
+	// Inj makes the decisions; nil disables injection entirely.
+	Inj *Injector
+	// Sleep applies injected latency. Nil selects time.Sleep; tests install
+	// a recorder to keep the suite instant.
+	Sleep func(time.Duration)
+}
+
+// TransportError is the injected failure returned by a faulted round trip,
+// distinguishable from genuine transport errors in assertions.
+type TransportError struct {
+	// Endpoint is the path of the faulted request.
+	Endpoint string
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("fault: injected transport error on %s", e.Endpoint)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if t.Inj == nil {
+		return inner.RoundTrip(req)
+	}
+	d := t.Inj.DecideSeq(saltTransport, HashString(req.Method), HashString(req.URL.Path))
+	if d.Latency > 0 {
+		sleep := t.Sleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		sleep(d.Latency)
+	}
+	if d.Fail {
+		return nil, &TransportError{Endpoint: req.URL.Path}
+	}
+	resp, err := inner.RoundTrip(req)
+	if err == nil && d.Stale {
+		resp.Header.Set("X-Fault-Stale", strconv.FormatUint(t.Inj.Tick(), 10))
+	}
+	return resp, err
+}
+
+// saltTransport namespaces transport decisions away from source decisions
+// sharing the same injector.
+const saltTransport uint64 = 0x7a2a5b0

@@ -57,6 +57,7 @@ var All = []*Analyzer{
 	ErrIgnore,
 	NakedGo,
 	LibPrint,
+	HTTPServer,
 }
 
 // ByName returns the analyzer with the given name, or nil.

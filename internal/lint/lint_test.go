@@ -26,6 +26,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{ErrIgnore, "ecocharge/internal/lintfixture/errignore"},
 		{NakedGo, "ecocharge/internal/lintfixture/nakedgo"},
 		{LibPrint, "ecocharge/internal/lintfixture/libprint"},
+		{HTTPServer, "ecocharge/internal/lintfixture/httpserver"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

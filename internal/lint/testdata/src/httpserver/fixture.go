@@ -1,0 +1,48 @@
+// Package fixture exercises the httpserver analyzer: timeout-less
+// http.Server literals and the package-level ListenAndServe helpers are
+// flagged; configured servers and the methods on them are not.
+package fixture
+
+import (
+	"net/http"
+	"time"
+)
+
+// BadLiteral builds a server with no read timeout at all: flagged.
+func BadLiteral(h http.Handler) *http.Server {
+	return &http.Server{Addr: ":8080", Handler: h}
+}
+
+// BadEmpty is the degenerate case: flagged.
+func BadEmpty() http.Server {
+	return http.Server{}
+}
+
+// BadHelpers delegates to the package-level helpers, which build a
+// timeout-less server internally: both calls flagged.
+func BadHelpers(h http.Handler) {
+	_ = http.ListenAndServe(":8080", h)
+	_ = http.ListenAndServeTLS(":8443", "cert.pem", "key.pem", h)
+}
+
+// Good sets a header-read deadline; calling the ListenAndServe *method* on
+// the configured server is fine.
+func Good(h http.Handler) error {
+	srv := &http.Server{
+		Addr:              ":8080",
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// GoodReadTimeout covers the other accepted field.
+func GoodReadTimeout(h http.Handler) http.Server {
+	return http.Server{Handler: h, ReadTimeout: 30 * time.Second}
+}
+
+// Suppressed shows the escape hatch for a deliberate exception.
+func Suppressed(h http.Handler) {
+	//ecolint:ignore httpserver localhost-only fixture listener
+	_ = http.ListenAndServe("127.0.0.1:0", h)
+}
