@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint chaos fuzz bench bench-smoke figures examples clean
+.PHONY: all build test race vet lint chaos fuzz bench bench-smoke bench-diff figures examples clean
 
 all: build vet lint test chaos bench-smoke
 
@@ -48,6 +48,14 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/ecobench -fig 6 -dataset Oldenburg -scale 0.0005 -reps 1 -trips 1 -json bench-smoke.json
 
+# Re-run the seed benchmark configuration and diff ft_ms per method against
+# the committed BENCH_seed.json baseline (see docs/perf.md). Fails on any
+# method regressing >10% beyond the sub-ms noise floor. The delta table is
+# written to bench-diff.txt for CI artifact upload.
+bench-diff:
+	$(GO) run ./cmd/ecobench -fig 6 -dataset Oldenburg -workers 1 -json bench-current.json
+	$(GO) run ./cmd/benchdiff -seed BENCH_seed.json -current bench-current.json -report bench-diff.txt
+
 # Regenerate every evaluation figure (paper Figs. 6-9 + the design,
 # horizon, and scalability supplements) as text tables.
 figures:
@@ -63,4 +71,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt bench-smoke.json
+	rm -f test_output.txt bench_output.txt bench-smoke.json bench-current.json bench-diff.txt

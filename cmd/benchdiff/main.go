@@ -1,0 +1,160 @@
+// Command benchdiff compares two ecobench -json exports and reports the
+// per-method filtering-time (ft_ms) deltas. It exits nonzero when any method
+// shared by both files regressed beyond the tolerance, which lets CI gate on
+// `make bench-diff` against the committed seed baseline.
+//
+// Example:
+//
+//	benchdiff -seed BENCH_seed.json -current bench-current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// row mirrors the ecobench benchRow export shape; unknown fields are
+// ignored so the tool reads old and new exports alike.
+type row struct {
+	Fig     string  `json:"fig"`
+	Dataset string  `json:"dataset"`
+	Method  string  `json:"method"`
+	Config  string  `json:"config"`
+	SCPct   float64 `json:"sc_pct"`
+	FtMs    float64 `json:"ft_ms"`
+}
+
+func (r row) key() string {
+	return strings.Join([]string{r.Fig, r.Dataset, r.Method, r.Config}, "|")
+}
+
+// delta is one seed-vs-current comparison.
+type delta struct {
+	key       string
+	seed, cur row
+	pct       float64 // ft_ms change in percent; positive = slower
+	regressed bool
+	onlyInOne bool
+	missingIn string
+}
+
+func main() {
+	var (
+		seedPath = flag.String("seed", "BENCH_seed.json", "baseline ecobench -json export")
+		curPath  = flag.String("current", "bench-current.json", "current ecobench -json export")
+		tol      = flag.Float64("tolerance", 0.10, "relative ft_ms regression tolerance (0.10 = +10%)")
+		slackMs  = flag.Float64("slack-ms", 0.25, "absolute ft_ms slack: smaller deltas never count as regressions (absorbs timer noise on sub-ms methods)")
+		report   = flag.String("report", "", "also write the text report to this file")
+	)
+	flag.Parse()
+
+	seed, err := readRows(*seedPath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readRows(*curPath)
+	if err != nil {
+		fatal(err)
+	}
+	deltas := compare(seed, cur, *tol, *slackMs)
+
+	var b strings.Builder
+	render(&b, *seedPath, *curPath, deltas, *tol, *slackMs)
+	fmt.Print(b.String())
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(b.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	for _, d := range deltas {
+		if d.regressed {
+			fmt.Fprintln(os.Stderr, "benchdiff: ft_ms regression beyond tolerance")
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+func readRows(path string) (map[string]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]row, len(rows))
+	for _, r := range rows {
+		out[r.key()] = r
+	}
+	return out, nil
+}
+
+// compare pairs rows by (fig, dataset, method, config) and marks a
+// regression when current ft_ms exceeds seed by more than the relative
+// tolerance AND the absolute slack. Rows present in only one file are
+// reported but never fail the run (method sets may evolve across PRs).
+func compare(seed, cur map[string]row, tol, slackMs float64) []delta {
+	keys := make(map[string]bool, len(seed)+len(cur))
+	for k := range seed {
+		keys[k] = true
+	}
+	for k := range cur {
+		keys[k] = true
+	}
+	var out []delta
+	for k := range keys {
+		s, inSeed := seed[k]
+		c, inCur := cur[k]
+		d := delta{key: k, seed: s, cur: c}
+		switch {
+		case !inSeed:
+			d.onlyInOne, d.missingIn = true, "seed"
+		case !inCur:
+			d.onlyInOne, d.missingIn = true, "current"
+		default:
+			if s.FtMs > 0 {
+				d.pct = (c.FtMs - s.FtMs) / s.FtMs * 100
+			}
+			d.regressed = c.FtMs > s.FtMs*(1+tol) && c.FtMs-s.FtMs > slackMs
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+func render(w io.Writer, seedPath, curPath string, deltas []delta, tol, slackMs float64) {
+	_, _ = fmt.Fprintf(w, "benchdiff: %s vs %s (tolerance +%.0f%%, slack %.2f ms)\n\n", seedPath, curPath, tol*100, slackMs)
+	_, _ = fmt.Fprintf(w, "%-44s %10s %10s %8s %8s  %s\n", "fig|dataset|method|config", "seed ms", "cur ms", "Δ%", "sc_pct", "status")
+	for _, d := range deltas {
+		if d.onlyInOne {
+			_, _ = fmt.Fprintf(w, "%-44s %10s %10s %8s %8s  only in %s\n", d.key, "-", "-", "-", "-",
+				map[string]string{"seed": "current file", "current": "seed file"}[d.missingIn])
+			continue
+		}
+		status := "ok"
+		if d.regressed {
+			status = "REGRESSED"
+		} else if d.pct < -5 {
+			status = "improved"
+		}
+		_, _ = fmt.Fprintf(w, "%-44s %10.3f %10.3f %+7.1f%% %8.1f  %s\n",
+			d.key, d.seed.FtMs, d.cur.FtMs, d.pct, d.cur.SCPct, status)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkRow(method string, ft float64) row {
+	return row{Fig: "6", Dataset: "Oldenburg", Method: method, FtMs: ft}
+}
+
+func byKey(ds []delta) map[string]delta {
+	out := make(map[string]delta, len(ds))
+	for _, d := range ds {
+		out[d.key] = d
+	}
+	return out
+}
+
+func TestCompareRegressionRules(t *testing.T) {
+	seed := map[string]row{}
+	cur := map[string]row{}
+	add := func(m row, into map[string]row) { into[m.key()] = m }
+
+	add(mkRow("Fast", 0.20), seed) // +50% but within absolute slack
+	add(mkRow("Fast", 0.30), cur)
+	add(mkRow("Slow", 10.0), seed) // +50% and beyond slack: regression
+	add(mkRow("Slow", 15.0), cur)
+	add(mkRow("Fine", 10.0), seed) // +5%: inside tolerance
+	add(mkRow("Fine", 10.5), cur)
+	add(mkRow("Better", 10.0), seed) // improvement
+	add(mkRow("Better", 4.0), cur)
+	add(mkRow("New", 1.0), cur) // only in current: reported, not failed
+
+	ds := byKey(compare(seed, cur, 0.10, 0.25))
+	if ds["6|Oldenburg|Fast|"].regressed {
+		t.Error("sub-slack delta flagged as regression")
+	}
+	if !ds["6|Oldenburg|Slow|"].regressed {
+		t.Error("50% regression beyond slack not flagged")
+	}
+	if ds["6|Oldenburg|Fine|"].regressed {
+		t.Error("inside-tolerance delta flagged")
+	}
+	if d := ds["6|Oldenburg|Better|"]; d.regressed || d.pct > -50 {
+		t.Errorf("improvement mishandled: %+v", d)
+	}
+	if d := ds["6|Oldenburg|New|"]; !d.onlyInOne || d.missingIn != "seed" || d.regressed {
+		t.Errorf("current-only row mishandled: %+v", d)
+	}
+}
+
+func TestRenderMentionsRegression(t *testing.T) {
+	seed := map[string]row{mkRow("M", 10).key(): mkRow("M", 10)}
+	cur := map[string]row{mkRow("M", 20).key(): mkRow("M", 20)}
+	var b strings.Builder
+	render(&b, "s.json", "c.json", compare(seed, cur, 0.10, 0.25), 0.10, 0.25)
+	if !strings.Contains(b.String(), "REGRESSED") {
+		t.Fatalf("report lacks REGRESSED marker:\n%s", b.String())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,6 +41,8 @@ func main() {
 		commit    = flag.String("commit", "", "commit hash recorded in the JSON export (default: build info)")
 		faultRate = flag.Float64("faultrate", 0, "deterministic EC-source fault rate in [0,1] (0 = no injection)")
 		faultSeed = flag.Int64("faultseed", 1, "fault-injection PRNG seed (independent of -seed)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (see docs/perf.md)")
+		memProf   = flag.String("memprofile", "", "write a post-run heap profile to this file (see docs/perf.md)")
 	)
 	flag.Parse()
 
@@ -53,10 +56,44 @@ func main() {
 		cfg: cfg, csvPath: *csvP, jsonPath: *jsonP, commit: *commit,
 		faultRate: *faultRate, faultSeed: *faultSeed,
 	}
-	if err := run(context.Background(), opts); err != nil {
+	err := withProfiles(*cpuProf, *memProf, func() error {
+		return run(context.Background(), opts)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecobench:", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles brackets fn with optional CPU and heap profiling so every
+// exit path through run still flushes the profile files.
+func withProfiles(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memPath != "" {
+		defer func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ecobench: creating -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ecobench: writing heap profile:", err)
+			}
+		}()
+	}
+	return fn()
 }
 
 // runOpts carries the resolved command-line configuration.

@@ -194,6 +194,7 @@ func BenchmarkRunTripParallel(b *testing.B) {
 	trip := trips[0]
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			m := NewBruteForce(env)
 			opts := TripOptions{K: 3, SegmentLenM: 1000, RadiusM: 10000, Workers: workers}
 			segments := 0

@@ -17,34 +17,70 @@ import (
 // the route: derout(b) = t(anchor→b) + t(b→return) − t(anchor→return),
 // which is zero for a charger on the route, matching the paper's "no
 // derouting occurs" case.
+//
+// The expansions are slice-backed views over pooled search scratch
+// (roadnet.Expansion); Cost and TravelTo read the dense arrays directly and
+// apply the lazy scaleLo/scaleHi factors per element, so the approximate
+// variant never materializes scaled copies of whole distance maps. Callers
+// that obtain a DeroutingMaps must Release it when the Offering Table is
+// built; the zero value is valid and prices nothing.
 type DeroutingMaps struct {
-	fwdLo, fwdHi map[roadnet.NodeID]float64 // seconds from anchor
-	retLo, retHi map[roadnet.NodeID]float64 // seconds to return node
-	baseLo       float64                    // anchor→return under lower weights
-	baseHi       float64                    // anchor→return under upper weights
+	fwdLo, fwdHi roadnet.Expansion // seconds from anchor (lower/upper weights)
+	retLo, retHi roadnet.Expansion // seconds to return node
+	// scaleLo/scaleHi multiply raw expansion values on read. The exact
+	// variant uses 1/1 with four distinct expansions; the approximate
+	// variant runs two mid-traffic expansions, aliases fwdHi/retHi onto
+	// fwdLo/retLo and sets the scales to the per-class multiplier ratios.
+	scaleLo, scaleHi float64
+	approx           bool    // hi expansions alias the lo ones
+	baseLo           float64 // anchor→return under lower weights
+	baseHi           float64 // anchor→return under upper weights
+}
+
+// Release returns the underlying expansion scratch to the graph's pool.
+// It must be called exactly once, after the last Cost/TravelTo read.
+func (d DeroutingMaps) Release() {
+	d.fwdLo.Release()
+	d.retLo.Release()
+	if !d.approx {
+		// In approx mode fwdHi/retHi alias fwdLo/retLo; releasing the alias
+		// could free scratch a concurrent query just re-acquired.
+		d.fwdHi.Release()
+		d.retHi.Release()
+	}
 }
 
 // deroutingMaps runs the four bounded expansions. boundSec limits the
 // search effort; pass math.Inf(1) for the exhaustive (brute-force) variant.
 func (env *Env) deroutingMaps(q Query, boundSec float64) DeroutingMaps {
-	lower, upper := env.Traffic.WeightFuncs(q.ETABase, q.Now)
-	var d DeroutingMaps
-	d.fwdLo = env.Graph.DistancesWithin(q.AnchorNode, lower, boundSec)
-	d.fwdHi = env.Graph.DistancesWithin(q.AnchorNode, upper, boundSec)
+	loT, hiT := env.Traffic.ClassWeightTables(q.ETABase, q.Now)
 	ret := q.ReturnNode
 	if ret < 0 {
 		ret = q.AnchorNode
 	}
-	d.retLo = env.Graph.DistancesTo(ret, lower, boundSec)
-	d.retHi = env.Graph.DistancesTo(ret, upper, boundSec)
-	d.baseLo = lookup(d.fwdLo, ret, math.Inf(1))
-	d.baseHi = lookup(d.fwdHi, ret, math.Inf(1))
+	d := DeroutingMaps{
+		fwdLo:   env.Graph.ExpandFrom(q.AnchorNode, loT, boundSec),
+		fwdHi:   env.Graph.ExpandFrom(q.AnchorNode, hiT, boundSec),
+		retLo:   env.Graph.ExpandTo(ret, loT, boundSec),
+		retHi:   env.Graph.ExpandTo(ret, hiT, boundSec),
+		scaleLo: 1,
+		scaleHi: 1,
+	}
+	d.baseLo = distOr(d.fwdLo, ret, math.Inf(1))
+	d.baseHi = distOr(d.fwdHi, ret, math.Inf(1))
 	if math.IsInf(d.baseLo, 1) {
 		// Return node unreachable within the bound: treat the on-route
 		// baseline as zero so derouting reduces to the round-trip cost.
 		d.baseLo, d.baseHi = 0, 0
 	}
 	return d
+}
+
+func distOr(x roadnet.Expansion, id roadnet.NodeID, def float64) float64 {
+	if v, ok := x.Dist(id); ok {
+		return v
+	}
+	return def
 }
 
 func lookup(m map[roadnet.NodeID]float64, id roadnet.NodeID, def float64) float64 {
@@ -60,41 +96,42 @@ func lookup(m map[roadnet.NodeID]float64, id roadnet.NodeID, def float64) float6
 // and most pessimistic per-class multiplier ratios. This halves the
 // Dijkstra work against the exact four-expansion computation at the cost
 // of slightly wider (but still truth-covering, up to route divergence)
-// intervals.
+// intervals. The ratios are applied lazily on read — the two expansions are
+// shared between the lo and hi views, nothing is copied.
 func (env *Env) deroutingMapsApprox(q Query, boundSec float64) DeroutingMaps {
-	lower, upper := env.Traffic.WeightFuncs(q.ETABase, q.Now)
-	mid := func(e roadnet.Edge) float64 { return (lower(e) + upper(e)) / 2 }
+	loT, hiT := env.Traffic.ClassWeightTables(q.ETABase, q.Now)
 
-	// Global scaling band across road classes: lo/mid and hi/mid ratios of
-	// a representative edge per class.
+	// Mid-traffic table plus the global scaling band across road classes:
+	// the most optimistic lo/mid and most pessimistic hi/mid ratios.
+	var midT roadnet.ClassWeights
 	loRatio, hiRatio := 1.0, 1.0
-	for c := roadnet.RoadClass(0); c < 4; c++ {
-		e := roadnet.Edge{Length: 1000, Class: c}
-		m := mid(e)
-		if m <= 0 {
+	for c := range midT {
+		midT[c] = (loT[c] + hiT[c]) / 2
+		if midT[c] <= 0 {
 			continue
 		}
-		if r := lower(e) / m; r < loRatio {
+		if r := loT[c] / midT[c]; r < loRatio {
 			loRatio = r
 		}
-		if r := upper(e) / m; r > hiRatio {
+		if r := hiT[c] / midT[c]; r > hiRatio {
 			hiRatio = r
 		}
 	}
 
-	fwd := env.Graph.DistancesWithin(q.AnchorNode, mid, boundSec)
 	ret := q.ReturnNode
 	if ret < 0 {
 		ret = q.AnchorNode
 	}
-	rev := env.Graph.DistancesTo(ret, mid, boundSec)
+	fwd := env.Graph.ExpandFrom(q.AnchorNode, midT, boundSec)
+	rev := env.Graph.ExpandTo(ret, midT, boundSec)
 
-	var d DeroutingMaps
-	d.fwdLo = scaleMap(fwd, loRatio)
-	d.fwdHi = scaleMap(fwd, hiRatio)
-	d.retLo = scaleMap(rev, loRatio)
-	d.retHi = scaleMap(rev, hiRatio)
-	base := lookup(fwd, ret, math.Inf(1))
+	d := DeroutingMaps{
+		fwdLo: fwd, fwdHi: fwd,
+		retLo: rev, retHi: rev,
+		scaleLo: loRatio, scaleHi: hiRatio,
+		approx: true,
+	}
+	base := distOr(fwd, ret, math.Inf(1))
 	if math.IsInf(base, 1) {
 		d.baseLo, d.baseHi = 0, 0
 	} else {
@@ -103,30 +140,26 @@ func (env *Env) deroutingMapsApprox(q Query, boundSec float64) DeroutingMaps {
 	return d
 }
 
-func scaleMap(m map[roadnet.NodeID]float64, s float64) map[roadnet.NodeID]float64 {
-	//ecolint:ignore floateq exact no-op fast path: callers pass ratio 1 literally
-	if s == 1 {
-		return m
-	}
-	out := make(map[roadnet.NodeID]float64, len(m))
-	for k, v := range m {
-		out[k] = v * s
-	}
-	return out
-}
-
 // Cost returns the derouting seconds interval for a charger at node n and
 // whether the charger is reachable within the expansions' bound. The
 // interval mixes bounds soundly: the optimistic derouting uses optimistic
 // legs against the pessimistic baseline, and vice versa.
 func (d DeroutingMaps) Cost(n roadnet.NodeID) (interval.I, bool) {
-	fLo, ok1 := d.fwdLo[n]
-	rLo, ok2 := d.retLo[n]
+	fRaw, ok1 := d.fwdLo.Dist(n)
+	rRaw, ok2 := d.retLo.Dist(n)
 	if !ok1 || !ok2 {
 		return interval.I{}, false
 	}
-	fHi := lookup(d.fwdHi, n, fLo)
-	rHi := lookup(d.retHi, n, rLo)
+	fLo := fRaw * d.scaleLo
+	rLo := rRaw * d.scaleLo
+	fHi := fLo
+	if raw, ok := d.fwdHi.Dist(n); ok {
+		fHi = raw * d.scaleHi
+	}
+	rHi := rLo
+	if raw, ok := d.retHi.Dist(n); ok {
+		rHi = raw * d.scaleHi
+	}
 	lo := fLo + rLo - d.baseHi
 	hi := fHi + rHi - d.baseLo
 	if lo < 0 {
@@ -141,11 +174,15 @@ func (d DeroutingMaps) Cost(n roadnet.NodeID) (interval.I, bool) {
 // TravelTo returns the forward travel-time interval in seconds from the
 // anchor to node n, used to derive the charger's ETA.
 func (d DeroutingMaps) TravelTo(n roadnet.NodeID) (interval.I, bool) {
-	lo, ok := d.fwdLo[n]
+	raw, ok := d.fwdLo.Dist(n)
 	if !ok {
 		return interval.I{}, false
 	}
-	hi := lookup(d.fwdHi, n, lo)
+	lo := raw * d.scaleLo
+	hi := lo
+	if rawHi, ok := d.fwdHi.Dist(n); ok {
+		hi = rawHi * d.scaleHi
+	}
 	if hi < lo {
 		hi = lo
 	}

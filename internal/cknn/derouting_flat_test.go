@@ -1,0 +1,255 @@
+package cknn
+
+// Differential suite for the slice-backed DeroutingMaps: a faithful copy of
+// the old map-backed implementation (four materialized maps, scaleMap
+// copies, lookup defaults) serves as the oracle, and the flat version must
+// reproduce its Cost and TravelTo outputs bit for bit over every node of
+// the graph, for both the exact and the approximate variant. Together with
+// the kernel-level differential suite in roadnet/flat_test.go and the
+// engine-level TestParallelTripEquivalence (all six methods, Workers 1 vs
+// 4), this proves the flat pipeline end-to-end equivalent to the code it
+// replaced.
+
+import (
+	"math"
+	"testing"
+
+	"ecocharge/internal/interval"
+	"ecocharge/internal/roadnet"
+)
+
+// refDerouting is the old DeroutingMaps shape: four materialized maps.
+type refDerouting struct {
+	fwdLo, fwdHi map[roadnet.NodeID]float64
+	retLo, retHi map[roadnet.NodeID]float64
+	baseLo       float64
+	baseHi       float64
+}
+
+// refDeroutingExact replicates the old (*Env).deroutingMaps.
+func refDeroutingExact(env *Env, q Query, boundSec float64) refDerouting {
+	lower, upper := env.Traffic.WeightFuncs(q.ETABase, q.Now)
+	var d refDerouting
+	d.fwdLo = env.Graph.DistancesWithin(q.AnchorNode, lower, boundSec)
+	d.fwdHi = env.Graph.DistancesWithin(q.AnchorNode, upper, boundSec)
+	ret := q.ReturnNode
+	if ret < 0 {
+		ret = q.AnchorNode
+	}
+	d.retLo = env.Graph.DistancesTo(ret, lower, boundSec)
+	d.retHi = env.Graph.DistancesTo(ret, upper, boundSec)
+	d.baseLo = lookup(d.fwdLo, ret, math.Inf(1))
+	d.baseHi = lookup(d.fwdHi, ret, math.Inf(1))
+	if math.IsInf(d.baseLo, 1) {
+		d.baseLo, d.baseHi = 0, 0
+	}
+	return d
+}
+
+// refDeroutingApprox replicates the old (*Env).deroutingMapsApprox: one
+// expansion per direction under mid weights, full-map scaled copies for the
+// lo and hi views.
+func refDeroutingApprox(env *Env, q Query, boundSec float64) refDerouting {
+	loT, hiT := env.Traffic.ClassWeightTables(q.ETABase, q.Now)
+	var midT roadnet.ClassWeights
+	loRatio, hiRatio := 1.0, 1.0
+	for c := range midT {
+		midT[c] = (loT[c] + hiT[c]) / 2
+		if midT[c] <= 0 {
+			continue
+		}
+		if r := loT[c] / midT[c]; r < loRatio {
+			loRatio = r
+		}
+		if r := hiT[c] / midT[c]; r > hiRatio {
+			hiRatio = r
+		}
+	}
+	ret := q.ReturnNode
+	if ret < 0 {
+		ret = q.AnchorNode
+	}
+	mid := midT.Func()
+	fwd := env.Graph.DistancesWithin(q.AnchorNode, mid, boundSec)
+	rev := env.Graph.DistancesTo(ret, mid, boundSec)
+
+	scale := func(m map[roadnet.NodeID]float64, s float64) map[roadnet.NodeID]float64 {
+		if s == 1 {
+			return m
+		}
+		out := make(map[roadnet.NodeID]float64, len(m))
+		for k, v := range m {
+			out[k] = v * s
+		}
+		return out
+	}
+	var d refDerouting
+	d.fwdLo = scale(fwd, loRatio)
+	d.fwdHi = scale(fwd, hiRatio)
+	d.retLo = scale(rev, loRatio)
+	d.retHi = scale(rev, hiRatio)
+	base := lookup(fwd, ret, math.Inf(1))
+	if math.IsInf(base, 1) {
+		d.baseLo, d.baseHi = 0, 0
+	} else {
+		d.baseLo, d.baseHi = base*loRatio, base*hiRatio
+	}
+	return d
+}
+
+// cost is the old DeroutingMaps.Cost, verbatim.
+func (d refDerouting) cost(n roadnet.NodeID) (interval.I, bool) {
+	fLo, ok1 := d.fwdLo[n]
+	rLo, ok2 := d.retLo[n]
+	if !ok1 || !ok2 {
+		return interval.I{}, false
+	}
+	fHi := lookup(d.fwdHi, n, fLo)
+	rHi := lookup(d.retHi, n, rLo)
+	lo := fLo + rLo - d.baseHi
+	hi := fHi + rHi - d.baseLo
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return interval.New(lo, hi), true
+}
+
+// travelTo is the old DeroutingMaps.TravelTo, verbatim.
+func (d refDerouting) travelTo(n roadnet.NodeID) (interval.I, bool) {
+	lo, ok := d.fwdLo[n]
+	if !ok {
+		return interval.I{}, false
+	}
+	hi := lookup(d.fwdHi, n, lo)
+	if hi < lo {
+		hi = lo
+	}
+	return interval.New(lo, hi), true
+}
+
+func sameInterval(a, b interval.I) bool {
+	return math.Float64bits(a.Min) == math.Float64bits(b.Min) &&
+		math.Float64bits(a.Max) == math.Float64bits(b.Max)
+}
+
+// TestDeroutingMapsMatchMapImplementation is the cknn-level differential
+// property: over every node of the graph, both derouting variants must
+// price visits bit-identically to the old map machinery, bounded and
+// unbounded, for anchored and distinct return nodes.
+func TestDeroutingMapsMatchMapImplementation(t *testing.T) {
+	env := testEnv(t)
+	base := testQuery(env).normalized()
+	distinctRet := base
+	distinctRet.ReturnNode = roadnet.NodeID(env.Graph.NumNodes() / 3)
+	noRet := base
+	noRet.ReturnNode = -1
+
+	for qname, q := range map[string]Query{
+		"anchored": base, "distinctReturn": distinctRet, "defaultReturn": noRet,
+	} {
+		for _, bound := range []float64{math.Inf(1), 600, q.RadiusM / avgUrbanSpeed} {
+			flatE := env.deroutingMaps(q, bound)
+			refE := refDeroutingExact(env, q, bound)
+			compareDerouting(t, env, qname+"/exact", flatE, refE)
+			flatE.Release()
+
+			flatA := env.deroutingMapsApprox(q, bound)
+			refA := refDeroutingApprox(env, q, bound)
+			compareDerouting(t, env, qname+"/approx", flatA, refA)
+			flatA.Release()
+		}
+	}
+}
+
+func compareDerouting(t *testing.T, env *Env, label string, flat DeroutingMaps, ref refDerouting) {
+	t.Helper()
+	priced := 0
+	for n := 0; n < env.Graph.NumNodes(); n++ {
+		id := roadnet.NodeID(n)
+		fc, fok := flat.Cost(id)
+		rc, rok := ref.cost(id)
+		if fok != rok {
+			t.Fatalf("%s node %d: Cost reachability flat=%v ref=%v", label, n, fok, rok)
+		}
+		if fok {
+			priced++
+			if !sameInterval(fc, rc) {
+				t.Fatalf("%s node %d: Cost flat=%v ref=%v", label, n, fc, rc)
+			}
+		}
+		ft, fok2 := flat.TravelTo(id)
+		rt, rok2 := ref.travelTo(id)
+		if fok2 != rok2 {
+			t.Fatalf("%s node %d: TravelTo reachability flat=%v ref=%v", label, n, fok2, rok2)
+		}
+		if fok2 && !sameInterval(ft, rt) {
+			t.Fatalf("%s node %d: TravelTo flat=%v ref=%v", label, n, ft, rt)
+		}
+	}
+	if priced == 0 {
+		t.Fatalf("%s: no node was priced; the comparison is vacuous", label)
+	}
+}
+
+// TestDeroutingMapsZeroAllocSteadyState asserts the hot path's allocation
+// budget: once the search pool is warm, building, reading and releasing the
+// derouting expansions allocates nothing.
+func TestDeroutingMapsZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	env := testEnv(t)
+	q := testQuery(env).normalized()
+	budget := q.RadiusM / avgUrbanSpeed
+	nodes := []roadnet.NodeID{0, roadnet.NodeID(env.Graph.NumNodes() / 2), roadnet.NodeID(env.Graph.NumNodes() - 1)}
+	for i := 0; i < 4; i++ { // warm the pool (4 states live at once in exact mode)
+		d := env.deroutingMaps(q, budget)
+		d.Release()
+	}
+	for name, run := range map[string]func() DeroutingMaps{
+		"exact":  func() DeroutingMaps { return env.deroutingMaps(q, budget) },
+		"approx": func() DeroutingMaps { return env.deroutingMapsApprox(q, budget) },
+	} {
+		allocs := testing.AllocsPerRun(20, func() {
+			d := run()
+			for _, n := range nodes {
+				d.Cost(n)
+				d.TravelTo(n)
+			}
+			d.Release()
+		})
+		if allocs != 0 {
+			t.Errorf("%s derouting allocates %.1f allocs/op steady-state, want 0", name, allocs)
+		}
+	}
+}
+
+// BenchmarkDeroutingMaps measures the derouting hot path end to end:
+// expansions plus a Cost read per charger, exact and approximate variants.
+func BenchmarkDeroutingMaps(b *testing.B) {
+	env := testEnv(b)
+	q := testQuery(env).normalized()
+	budget := q.RadiusM / avgUrbanSpeed
+	chargers := env.Chargers.All()
+	for _, bench := range []struct {
+		name string
+		run  func() DeroutingMaps
+	}{
+		{"exact", func() DeroutingMaps { return env.deroutingMaps(q, budget) }},
+		{"approx", func() DeroutingMaps { return env.deroutingMapsApprox(q, budget) }},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := bench.run()
+				for j := range chargers {
+					d.Cost(chargers[j].Node)
+				}
+				d.Release()
+			}
+		})
+	}
+}

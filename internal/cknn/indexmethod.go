@@ -91,6 +91,7 @@ func (m *SpatialIndexMethod) Rank(q Query) OfferingTable {
 		}
 	}
 	d := m.engine.Env.deroutingMaps(q, bound)
+	defer d.Release()
 	return OfferingTable{
 		Anchor:      q.Anchor,
 		GeneratedAt: q.Now,

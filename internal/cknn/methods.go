@@ -78,6 +78,7 @@ func (m *BruteForce) SetWorkers(n int) { m.engine.Workers = n }
 func (m *BruteForce) Rank(q Query) OfferingTable {
 	q = q.normalized()
 	d := m.engine.Env.deroutingMaps(q, math.Inf(1))
+	defer d.Release()
 	all := m.engine.Env.Chargers.All()
 	cands := make([]*charger.Charger, len(all))
 	for i := range all {
@@ -138,6 +139,7 @@ func (m *IndexQuadtree) Rank(q Query) OfferingTable {
 		}
 	}
 	d := m.engine.Env.deroutingMaps(q, bound)
+	defer d.Release()
 	return OfferingTable{
 		Anchor:      q.Anchor,
 		GeneratedAt: q.Now,
@@ -302,6 +304,7 @@ func (m *EcoCharge) compute(q Query) OfferingTable {
 	} else {
 		d = m.engine.Env.deroutingMapsApprox(q, budget)
 	}
+	defer d.Release()
 	return OfferingTable{
 		Anchor:      q.Anchor,
 		GeneratedAt: q.Now,

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cknn
+
+const raceEnabled = false

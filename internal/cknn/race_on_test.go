@@ -1,0 +1,8 @@
+//go:build race
+
+package cknn
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation allocates inside sync.Pool and invalidates
+// allocation-count assertions.
+const raceEnabled = true

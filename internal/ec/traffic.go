@@ -99,36 +99,43 @@ func (m *TrafficModel) ForecastMultiplier(class roadnet.RoadClass, t, issuedAt t
 	return interval.New(lo, hi)
 }
 
-// WeightFuncs returns lower/upper-bound travel-time weight functions for
-// the road network at time t (estimate issued at issuedAt). Plugging these
-// into Dijkstra yields the D_min / D_max derouting costs of Algorithm 1
-// lines 9–10.
-func (m *TrafficModel) WeightFuncs(t, issuedAt time.Time) (lower, upper roadnet.WeightFunc) {
-	// Multipliers depend only on class, so cache the few class values
-	// instead of recomputing per edge.
-	var lo, hi [4]float64
-	for c := roadnet.RoadClass(0); c < 4; c++ {
+// ClassWeightTables returns lower/upper-bound travel-time weight tables for
+// the road network at time t (estimate issued at issuedAt): one seconds-per-
+// meter multiplier per road class, ready for the flat expansion kernel. The
+// per-edge cost edge.Length * table[class] equals the congested travel time
+// under the forecast band, so plugging the tables into ExpandFrom/ExpandTo
+// yields the D_min / D_max derouting costs of Algorithm 1 lines 9–10.
+func (m *TrafficModel) ClassWeightTables(t, issuedAt time.Time) (lower, upper roadnet.ClassWeights) {
+	for c := roadnet.RoadClass(0); c < roadnet.RoadClass(roadnet.NumRoadClasses); c++ {
 		iv := m.ForecastMultiplier(c, t, issuedAt)
-		lo[c], hi[c] = iv.Min, iv.Max
-	}
-	lower = func(e roadnet.Edge) float64 {
-		return e.Length / e.Class.FreeFlowSpeed() * lo[e.Class%4]
-	}
-	upper = func(e roadnet.Edge) float64 {
-		return e.Length / e.Class.FreeFlowSpeed() * hi[e.Class%4]
+		lower[c] = iv.Min / c.FreeFlowSpeed()
+		upper[c] = iv.Max / c.FreeFlowSpeed()
 	}
 	return lower, upper
+}
+
+// WeightFuncs returns the closure form of ClassWeightTables for the generic
+// map-shaped search APIs. The closures compute the identical per-edge
+// product the tables do, so table-driven and closure-driven searches agree
+// bit for bit.
+func (m *TrafficModel) WeightFuncs(t, issuedAt time.Time) (lower, upper roadnet.WeightFunc) {
+	loT, hiT := m.ClassWeightTables(t, issuedAt)
+	return loT.Func(), hiT.Func()
+}
+
+// TruthClassWeights returns the travel-time weight table under the actual
+// congestion at time t.
+func (m *TrafficModel) TruthClassWeights(t time.Time) roadnet.ClassWeights {
+	var cw roadnet.ClassWeights
+	for c := roadnet.RoadClass(0); c < roadnet.RoadClass(roadnet.NumRoadClasses); c++ {
+		cw[c] = m.TruthMultiplier(c, t) / c.FreeFlowSpeed()
+	}
+	return cw
 }
 
 // TruthWeightFunc returns the travel-time weight function under the actual
 // congestion at time t. Experiments use it to score chosen chargers against
 // ground truth rather than forecasts.
 func (m *TrafficModel) TruthWeightFunc(t time.Time) roadnet.WeightFunc {
-	var mult [4]float64
-	for c := roadnet.RoadClass(0); c < 4; c++ {
-		mult[c] = m.TruthMultiplier(c, t)
-	}
-	return func(e roadnet.Edge) float64 {
-		return e.Length / e.Class.FreeFlowSpeed() * mult[e.Class%4]
-	}
+	return m.TruthClassWeights(t).Func()
 }

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc guards the flat shortest-path kernel's allocation discipline
+// inside internal/roadnet (the derouting hot path; see DESIGN.md §8). Two
+// shapes are flagged there:
+//
+//   - any map[NodeID]... type: per-search node maps are exactly what the
+//     generation-stamped dense arrays replaced, and reintroducing one puts
+//     a hash insert and its allocations back on every relaxed edge;
+//   - importing container/heap: its interface-based Push/Pop box every
+//     element, which the specialized slice heap exists to avoid.
+//
+// Cold paths (offline preprocessing, map-shaped convenience APIs) are
+// legitimate exceptions: suppress with //ecolint:ignore hotalloc and a
+// reason. Packages outside internal/roadnet are not checked.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags map[NodeID] types and container/heap imports in the roadnet hot path",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	if !strings.HasSuffix(pass.Pkg.ImportPath, "internal/roadnet") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				if strings.Trim(n.Path.Value, `"`) == "container/heap" {
+					pass.Reportf(n.Pos(), "container/heap boxes every element through interface{}; use the specialized slice heap (heap4) on the hot path")
+				}
+			case *ast.MapType:
+				if isNodeIDKey(pass, n.Key) {
+					pass.Reportf(n.Pos(), "map[NodeID] on the roadnet hot path; use the generation-stamped dense arrays (searchState) instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isNodeIDKey reports whether the map key expression resolves to a named
+// type called NodeID (type information preferred, syntax as fallback for
+// files that fail to type-check fully).
+func isNodeIDKey(pass *Pass, key ast.Expr) bool {
+	if t := pass.TypeOf(key); t != nil {
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj() != nil && named.Obj().Name() == "NodeID"
+		}
+	}
+	switch k := key.(type) {
+	case *ast.Ident:
+		return k.Name == "NodeID"
+	case *ast.SelectorExpr:
+		return k.Sel != nil && k.Sel.Name == "NodeID"
+	}
+	return false
+}

@@ -58,6 +58,7 @@ var All = []*Analyzer{
 	NakedGo,
 	LibPrint,
 	HTTPServer,
+	HotAlloc,
 }
 
 // ByName returns the analyzer with the given name, or nil.

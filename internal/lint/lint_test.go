@@ -27,6 +27,9 @@ func TestAnalyzersGolden(t *testing.T) {
 		{NakedGo, "ecocharge/internal/lintfixture/nakedgo"},
 		{LibPrint, "ecocharge/internal/lintfixture/libprint"},
 		{HTTPServer, "ecocharge/internal/lintfixture/httpserver"},
+		// hotalloc only fires inside internal/roadnet, so the fixture
+		// masquerades as that package.
+		{HotAlloc, "ecocharge/internal/lintfixture/internal/roadnet"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -1,0 +1,46 @@
+// Package fixture exercises the hotalloc analyzer: the file poses as part
+// of internal/roadnet (see the import path in lint_test.go), where
+// map[NodeID] types and container/heap imports are flagged.
+package fixture
+
+import (
+	"container/heap" // flagged: interface boxing on the hot path
+	"sort"
+)
+
+// NodeID mirrors the real roadnet.NodeID.
+type NodeID int32
+
+// BadSearchState reintroduces per-search maps: both field types flagged.
+type BadSearchState struct {
+	dist map[NodeID]float64
+	prev map[NodeID]NodeID
+}
+
+// BadExpand allocates a node map per call: the make type is flagged, and so
+// is the return type.
+func BadExpand(n int) map[NodeID]float64 {
+	out := make(map[NodeID]float64, n)
+	return out
+}
+
+// GoodDense is the intended shape: dense arrays, no maps keyed by NodeID.
+func GoodDense(n int) []float64 {
+	return make([]float64, n)
+}
+
+// GoodOtherKeys shows that only NodeID keys are the hot-path smell.
+func GoodOtherKeys() (map[int64]float64, map[string]NodeID) {
+	return map[int64]float64{}, map[string]NodeID{}
+}
+
+// SuppressedWitness stands in for offline preprocessing, where a small map
+// is fine and the escape hatch documents why.
+func SuppressedWitness(src NodeID) float64 {
+	//ecolint:ignore hotalloc offline preprocessing, not on the query path
+	dist := map[NodeID]float64{src: 0}
+	return dist[src]
+}
+
+// useHeap keeps the flagged import referenced so the fixture type-checks.
+func useHeap(h heap.Interface) { sort.Sort(h) }

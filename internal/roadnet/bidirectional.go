@@ -1,7 +1,6 @@
 package roadnet
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -9,7 +8,9 @@ import (
 // and dst (backward on the reverse graph), terminating when the frontiers
 // guarantee the best meeting point is settled. For point-to-point detour
 // costing it explores roughly half the nodes plain Dijkstra would.
-// Results are identical to ShortestPath.
+// Results are identical to ShortestPath. The two searches run on two pooled
+// flat states (see flat.go), so a query allocates nothing beyond the
+// returned path.
 func (g *Graph) BidirectionalShortestPath(src, dst NodeID, w WeightFunc) (Path, bool) {
 	g.mustFrozen()
 	if !g.validID(src) || !g.validID(dst) {
@@ -19,68 +20,59 @@ func (g *Graph) BidirectionalShortestPath(src, dst NodeID, w WeightFunc) (Path, 
 		return Path{Nodes: []NodeID{src}, Weight: 0}, true
 	}
 
-	distF := map[NodeID]float64{src: 0}
-	distB := map[NodeID]float64{dst: 0}
-	prevF := make(map[NodeID]NodeID)
-	prevB := make(map[NodeID]NodeID)
-	doneF := make(map[NodeID]bool)
-	doneB := make(map[NodeID]bool)
-	pqF := &spHeap{{node: src, prio: 0}}
-	pqB := &spHeap{{node: dst, prio: 0}}
+	stF := g.acquireState()
+	defer stF.release()
+	stB := g.acquireState()
+	defer stB.release()
+	stF.seed(src)
+	stB.seed(dst)
 
 	best := math.Inf(1)
-	var meet NodeID = Invalid
+	meet := Invalid
 
-	relaxF := func(cur NodeID) {
-		for _, ei := range g.adj[cur] {
-			e := g.edges[ei]
-			wt := w(e)
-			if wt < 0 {
-				panic("roadnet: negative edge weight")
-			}
-			nd := distF[cur] + wt
-			if old, ok := distF[e.To]; !ok || nd < old {
-				distF[e.To] = nd
-				prevF[e.To] = cur
-				heap.Push(pqF, spItem{node: e.To, prio: nd})
-			}
-			if db, ok := distB[e.To]; ok {
-				if total := nd + db; total < best {
-					best = total
-					meet = e.To
-				}
-			}
+	// relax expands cur in st's direction and tests each tentative distance
+	// against the opposite search for a cheaper meeting point.
+	relax := func(st, other *searchState, cur NodeID, reverse bool) {
+		var out []int32
+		if reverse {
+			out = g.radj[cur]
+		} else {
+			out = g.adj[cur]
 		}
-	}
-	relaxB := func(cur NodeID) {
-		for _, ei := range g.radj[cur] {
-			e := g.edges[ei]
-			wt := w(e)
+		base := st.dist[cur]
+		for _, ei := range out {
+			e := &g.edges[ei]
+			wt := w(*e)
 			if wt < 0 {
 				panic("roadnet: negative edge weight")
 			}
-			nd := distB[cur] + wt
-			if old, ok := distB[e.From]; !ok || nd < old {
-				distB[e.From] = nd
-				prevB[e.From] = cur
-				heap.Push(pqB, spItem{node: e.From, prio: nd})
+			nd := base + wt
+			to := e.To
+			if reverse {
+				to = e.From
 			}
-			if df, ok := distF[e.From]; ok {
-				if total := df + nd; total < best {
+			if st.seen[to] != st.stamp || nd < st.dist[to] {
+				st.dist[to] = nd
+				st.seen[to] = st.stamp
+				st.prev[to] = cur
+				st.pq.push(to, nd)
+			}
+			if other.seen[to] == other.stamp {
+				if total := nd + other.dist[to]; total < best {
 					best = total
-					meet = e.From
+					meet = to
 				}
 			}
 		}
 	}
 
-	for pqF.Len() > 0 || pqB.Len() > 0 {
+	for len(stF.pq.items) > 0 || len(stB.pq.items) > 0 {
 		topF, topB := math.Inf(1), math.Inf(1)
-		if pqF.Len() > 0 {
-			topF = (*pqF)[0].prio
+		if len(stF.pq.items) > 0 {
+			topF = stF.pq.items[0].prio
 		}
-		if pqB.Len() > 0 {
-			topB = (*pqB)[0].prio
+		if len(stB.pq.items) > 0 {
+			topB = stB.pq.items[0].prio
 		}
 		// Standard stopping criterion: once the sum of the two frontiers'
 		// minima reaches the best known meeting cost, no better path exists.
@@ -88,19 +80,19 @@ func (g *Graph) BidirectionalShortestPath(src, dst NodeID, w WeightFunc) (Path, 
 			break
 		}
 		if topF <= topB {
-			cur := heap.Pop(pqF).(spItem)
-			if doneF[cur.node] {
+			cur := stF.pq.pop()
+			if stF.done[cur.node] == stF.stamp {
 				continue
 			}
-			doneF[cur.node] = true
-			relaxF(cur.node)
+			stF.done[cur.node] = stF.stamp
+			relax(stF, stB, cur.node, false)
 		} else {
-			cur := heap.Pop(pqB).(spItem)
-			if doneB[cur.node] {
+			cur := stB.pq.pop()
+			if stB.done[cur.node] == stB.stamp {
 				continue
 			}
-			doneB[cur.node] = true
-			relaxB(cur.node)
+			stB.done[cur.node] = stB.stamp
+			relax(stB, stF, cur.node, true)
 		}
 	}
 	if meet == Invalid {
@@ -108,16 +100,16 @@ func (g *Graph) BidirectionalShortestPath(src, dst NodeID, w WeightFunc) (Path, 
 	}
 
 	// Stitch: src→meet from the forward tree, meet→dst from the backward.
-	forward := reconstruct(prevF, src, meet)
+	forward := stF.path(src, meet)
 	if forward == nil {
 		return Path{}, false
 	}
 	nodes := forward
 	for at := meet; at != dst; {
-		next, ok := prevB[at]
-		if !ok {
+		if !stB.reached(at) || stB.prev[at] == Invalid {
 			return Path{}, false
 		}
+		next := stB.prev[at]
 		nodes = append(nodes, next)
 		at = next
 	}

@@ -101,12 +101,14 @@ func BenchmarkBidirectionalVsUnidirectional(b *testing.B) {
 		pairs[i] = [2]NodeID{NodeID(r.Intn(g.NumNodes())), NodeID(r.Intn(g.NumNodes()))}
 	}
 	b.Run("unidirectional", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%64]
 			g.ShortestPath(p[0], p[1], DistanceWeight)
 		}
 	})
 	b.Run("bidirectional", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%64]
 			g.BidirectionalShortestPath(p[0], p[1], DistanceWeight)

@@ -1,7 +1,6 @@
 package roadnet
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 )
@@ -63,11 +62,15 @@ func BuildCH(g *Graph, w WeightFunc) *ContractionHierarchy {
 		if src == dst {
 			return true
 		}
+		// Offline preprocessing: a tiny bounded search over the shrinking
+		// dynamic graph, so the map is fine here — only the query path is hot.
+		//ecolint:ignore hotalloc offline preprocessing, not on the query path
 		dist := map[NodeID]float64{src: 0}
-		pq := &spHeap{{node: src, prio: 0}}
+		var pq heap4
+		pq.push(src, 0)
 		settled := 0
-		for pq.Len() > 0 && settled < 80 { // bounded effort: misses cost only extra shortcuts
-			cur := heap.Pop(pq).(spItem)
+		for len(pq.items) > 0 && settled < 80 { // bounded effort: misses cost only extra shortcuts
+			cur := pq.pop()
 			if cur.prio > dist[cur.node] {
 				continue
 			}
@@ -88,7 +91,7 @@ func BuildCH(g *Graph, w WeightFunc) *ContractionHierarchy {
 				}
 				if old, ok := dist[e.to]; !ok || nd < old {
 					dist[e.to] = nd
-					heap.Push(pq, spItem{node: e.to, prio: nd})
+					pq.push(e.to, nd)
 				}
 			}
 		}
@@ -218,38 +221,43 @@ func (ch *ContractionHierarchy) Query(src, dst NodeID) float64 {
 	if src == dst {
 		return 0
 	}
-	distF := map[NodeID]float64{src: 0}
-	distB := map[NodeID]float64{dst: 0}
+	stF := ch.g.acquireState()
+	defer stF.release()
+	stB := ch.g.acquireState()
+	defer stB.release()
 	best := math.Inf(1)
 
-	search := func(start NodeID, adj [][]chEdge, dist map[NodeID]float64, other map[NodeID]float64) {
-		pq := &spHeap{{node: start, prio: 0}}
-		for pq.Len() > 0 {
-			cur := heap.Pop(pq).(spItem)
-			if cur.prio > dist[cur.node] {
+	search := func(st *searchState, start NodeID, adj [][]chEdge, other *searchState) {
+		st.dist[start] = 0
+		st.seen[start] = st.stamp
+		st.pq.push(start, 0)
+		for len(st.pq.items) > 0 {
+			cur := st.pq.pop()
+			if cur.prio > st.dist[cur.node] {
 				continue
 			}
 			if cur.prio >= best {
 				break // nothing cheaper can meet
 			}
-			if d, ok := other[cur.node]; ok {
-				if total := cur.prio + d; total < best {
+			if other != nil && other.seen[cur.node] == other.stamp {
+				if total := cur.prio + other.dist[cur.node]; total < best {
 					best = total
 				}
 			}
 			for _, e := range adj[cur.node] {
 				nd := cur.prio + e.weight
-				if old, ok := dist[e.to]; !ok || nd < old {
-					dist[e.to] = nd
-					heap.Push(pq, spItem{node: e.to, prio: nd})
+				if st.seen[e.to] != st.stamp || nd < st.dist[e.to] {
+					st.dist[e.to] = nd
+					st.seen[e.to] = st.stamp
+					st.pq.push(e.to, nd)
 				}
 			}
 		}
 	}
 	// Forward upward search, then backward; the meeting check needs both
-	// maps, so run forward fully first (graphs here are small), then
-	// backward with meeting tests against the forward map.
-	search(src, ch.up, distF, map[NodeID]float64{})
-	search(dst, ch.down, distB, distF)
+	// searches, so run forward fully first (graphs here are small), then
+	// backward with meeting tests against the forward state.
+	search(stF, src, ch.up, nil)
+	search(stB, dst, ch.down, stF)
 	return best
 }

@@ -109,12 +109,14 @@ func BenchmarkCHQueryVsDijkstra(b *testing.B) {
 		pairs[i] = [2]NodeID{NodeID(r.Intn(g.NumNodes())), NodeID(r.Intn(g.NumNodes()))}
 	}
 	b.Run("ch", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%64]
 			ch.Query(p[0], p[1])
 		}
 	})
 	b.Run("dijkstra", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%64]
 			g.ShortestDistance(p[0], p[1], DistanceWeight)

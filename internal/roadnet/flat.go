@@ -1,0 +1,347 @@
+package roadnet
+
+// flat.go is the flat shortest-path kernel behind every network expansion:
+// dense distance/predecessor arrays recycled across searches through
+// generation stamps (no clearing, no per-search maps), a slice-based 4-ary
+// min-heap specialized to (NodeID, float64) pairs, precompiled per-road-class
+// weight tables, and a sync.Pool of search-state scratch so concurrent
+// queries reuse buffers instead of allocating. The derouting component runs
+// two to four bounded expansions per segment per trip per user (paper
+// Alg. 1 lines 9-10), which makes this the hottest loop in the repository;
+// see DESIGN.md §8 for the engineering rules it follows.
+
+import (
+	"math"
+	"sync"
+)
+
+// NumRoadClasses is the number of distinct road classes. ClassWeights
+// tables carry exactly one multiplier per class.
+const NumRoadClasses = int(numRoadClasses)
+
+// ClassWeights is a precompiled per-road-class cost table: the traversal
+// cost of an edge is edge.Length * table[edge.Class]. The kernel multiplies
+// the table entry directly instead of calling a WeightFunc closure per edge,
+// and because the closure form returned by Func computes the exact same
+// product, table-driven and closure-driven searches produce bit-identical
+// path sums (float multiplication of the same two operands is
+// deterministic; see DESIGN.md §8).
+type ClassWeights [numRoadClasses]float64
+
+// CostOf prices one edge under the table.
+func (cw *ClassWeights) CostOf(e Edge) float64 {
+	return e.Length * cw[e.Class%numRoadClasses]
+}
+
+// Func adapts the table to the WeightFunc shape for the generic
+// (cold-path) search APIs. The closure computes the identical product the
+// kernel computes, so mixing the two forms cannot diverge.
+func (cw ClassWeights) Func() WeightFunc {
+	return func(e Edge) float64 { return e.Length * cw[e.Class%numRoadClasses] }
+}
+
+// DistanceClassWeights is the table form of DistanceWeight: cost = length.
+func DistanceClassWeights() ClassWeights {
+	var cw ClassWeights
+	for i := range cw {
+		cw[i] = 1
+	}
+	return cw
+}
+
+// TimeClassWeights is the table form of free-flow travel time in seconds.
+func TimeClassWeights() ClassWeights {
+	var cw ClassWeights
+	for c := RoadClass(0); c < numRoadClasses; c++ {
+		cw[c] = 1 / c.FreeFlowSpeed()
+	}
+	return cw
+}
+
+// heapItem is one pending (node, priority) pair of the search frontier.
+type heapItem struct {
+	node NodeID
+	prio float64
+}
+
+// heap4 is a slice-backed 4-ary min-heap on heapItem. Compared to
+// container/heap it avoids the interface boxing of Push/Pop (one alloc per
+// operation) and halves the tree depth, trading slightly wider sift-down
+// scans — a good fit for the short-priority-range frontiers of road-network
+// Dijkstra. The backing slice is owned by a searchState and recycled.
+type heap4 struct {
+	items []heapItem
+}
+
+func (h *heap4) reset() { h.items = h.items[:0] }
+
+func (h *heap4) push(node NodeID, prio float64) {
+	h.items = append(h.items, heapItem{node: node, prio: prio})
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if h.items[p].prio <= h.items[i].prio {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *heap4) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i, n := 0, last
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h.items[c].prio < h.items[min].prio {
+				min = c
+			}
+		}
+		if h.items[i].prio <= h.items[min].prio {
+			break
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+	return top
+}
+
+// searchState is the recycled scratch of one search: dense distance,
+// predecessor and generation arrays sized to the graph, plus the frontier
+// heap. A slot n is valid for the current search iff seen[n] == stamp;
+// bumping the stamp in begin invalidates every slot in O(1), so nothing is
+// ever cleared between searches. States live in the graph's sync.Pool.
+type searchState struct {
+	g     *Graph
+	dist  []float64
+	prev  []NodeID
+	seen  []uint32 // seen[n] == stamp ⇔ dist[n]/prev[n] hold this search's values
+	done  []uint32 // done[n] == stamp ⇔ n was settled (popped) this search
+	stamp uint32
+	cw    ClassWeights // table slot so ExpandFrom/ExpandTo need no extra escape
+	pq    heap4
+	inUse bool
+}
+
+func newSearchState(g *Graph) *searchState {
+	n := len(g.nodes)
+	return &searchState{
+		g:    g,
+		dist: make([]float64, n),
+		prev: make([]NodeID, n),
+		seen: make([]uint32, n),
+		done: make([]uint32, n),
+		pq:   heap4{items: make([]heapItem, 0, 256)},
+	}
+}
+
+// acquireState checks a search state out of the graph's pool and starts a
+// fresh generation. Callers must release it exactly once.
+func (g *Graph) acquireState() *searchState {
+	st := g.pool.Get().(*searchState)
+	st.begin()
+	return st
+}
+
+// begin opens a new search generation. On the (once per 2^32 searches)
+// stamp wrap-around the generation arrays are cleared so stale entries from
+// four billion searches ago cannot alias the new stamp.
+func (st *searchState) begin() {
+	st.inUse = true
+	st.stamp++
+	if st.stamp == 0 {
+		for i := range st.seen {
+			st.seen[i] = 0
+			st.done[i] = 0
+		}
+		st.stamp = 1
+	}
+	st.pq.reset()
+}
+
+// release returns the state to the pool. Releasing twice is a no-op, so a
+// deferred release composes with early returns.
+func (st *searchState) release() {
+	if !st.inUse {
+		return
+	}
+	st.inUse = false
+	st.g.pool.Put(st)
+}
+
+// seed initializes the search origin.
+func (st *searchState) seed(n NodeID) {
+	st.dist[n] = 0
+	st.seen[n] = st.stamp
+	st.prev[n] = Invalid
+	st.pq.push(n, 0)
+}
+
+// reached reports whether the last search settled or touched n.
+func (st *searchState) reached(n NodeID) bool {
+	return n >= 0 && int(n) < len(st.seen) && st.seen[n] == st.stamp
+}
+
+// run executes the shared Dijkstra kernel from src. When dst is valid the
+// search stops as soon as dst settles; when maxWeight is finite, nodes
+// beyond the bound are not recorded. reverse walks the reverse adjacency
+// (distances *to* src). Edge costs come from the class table when cw is
+// non-nil (the hot path: one multiply, no call) and from w otherwise.
+// needPrev controls predecessor bookkeeping; distance-only callers skip it.
+func (st *searchState) run(src, dst NodeID, w WeightFunc, cw *ClassWeights, maxWeight float64, needPrev, reverse bool) {
+	g := st.g
+	st.seed(src)
+	for len(st.pq.items) > 0 {
+		cur := st.pq.pop()
+		if st.done[cur.node] == st.stamp {
+			continue
+		}
+		st.done[cur.node] = st.stamp
+		if cur.node == dst {
+			break
+		}
+		var out []int32
+		if reverse {
+			out = g.radj[cur.node]
+		} else {
+			out = g.adj[cur.node]
+		}
+		base := st.dist[cur.node]
+		for _, ei := range out {
+			e := &g.edges[ei]
+			var wt float64
+			if cw != nil {
+				wt = e.Length * cw[e.Class%numRoadClasses]
+			} else {
+				wt = w(*e)
+			}
+			if wt < 0 {
+				panic("roadnet: negative edge weight")
+			}
+			nd := base + wt
+			if nd > maxWeight {
+				continue
+			}
+			to := e.To
+			if reverse {
+				to = e.From
+			}
+			if st.seen[to] != st.stamp || nd < st.dist[to] {
+				st.dist[to] = nd
+				st.seen[to] = st.stamp
+				if needPrev {
+					st.prev[to] = cur.node
+				}
+				st.pq.push(to, nd)
+			}
+		}
+	}
+}
+
+// path reconstructs src→dst from the predecessor array. It returns nil when
+// the chain is broken (only possible if dst was never reached).
+func (st *searchState) path(src, dst NodeID) []NodeID {
+	if src == dst {
+		return []NodeID{src}
+	}
+	var rev []NodeID
+	for at := dst; ; {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+		if !st.reached(at) || st.prev[at] == Invalid {
+			return nil
+		}
+		at = st.prev[at]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// toMap copies the reached set into the map shape of the convenience API.
+// Cold path only: the per-query expansion machinery reads the dense arrays
+// through Expansion instead.
+func (st *searchState) toMap() map[NodeID]float64 { //ecolint:ignore hotalloc cold-path convenience copy; hot callers use Expansion
+	//ecolint:ignore hotalloc cold-path convenience copy; hot callers use Expansion
+	out := make(map[NodeID]float64, 64)
+	for n, s := range st.seen {
+		if s == st.stamp {
+			out[NodeID(n)] = st.dist[n]
+		}
+	}
+	return out
+}
+
+// Expansion is the zero-copy result of one bounded network expansion: a
+// read-only view over a pooled search state's dense arrays. Dist is safe
+// for concurrent readers. Callers must Release the expansion when done —
+// typically with defer — after which Dist must not be called; the zero
+// Expansion is valid and empty.
+type Expansion struct {
+	st *searchState
+}
+
+// Dist returns the expansion weight of n and whether n was reached.
+func (x Expansion) Dist(n NodeID) (float64, bool) {
+	st := x.st
+	if st == nil || n < 0 || int(n) >= len(st.seen) || st.seen[n] != st.stamp {
+		return 0, false
+	}
+	return st.dist[n], true
+}
+
+// Release returns the expansion's scratch buffers to the graph's pool.
+// Releasing twice (or releasing the zero Expansion) is a no-op.
+func (x Expansion) Release() {
+	if x.st != nil {
+		x.st.release()
+	}
+}
+
+// ExpandFrom runs a bounded expansion from src under the class table,
+// pricing every node reachable within maxWeight. This is the
+// network-expansion primitive of the derouting component (Alg. 1 lines
+// 9-10) in its allocation-free form: scratch comes from the graph's pool
+// and goes back on Release.
+func (g *Graph) ExpandFrom(src NodeID, cw ClassWeights, maxWeight float64) Expansion {
+	return g.expand(src, cw, maxWeight, false)
+}
+
+// ExpandTo is ExpandFrom on the reverse graph: the weight of reaching dst
+// from every node within maxWeight (the return-to-route leg).
+func (g *Graph) ExpandTo(dst NodeID, cw ClassWeights, maxWeight float64) Expansion {
+	return g.expand(dst, cw, maxWeight, true)
+}
+
+func (g *Graph) expand(origin NodeID, cw ClassWeights, maxWeight float64, reverse bool) Expansion {
+	g.mustFrozen()
+	st := g.acquireState()
+	if g.validID(origin) {
+		st.cw = cw
+		st.run(origin, Invalid, nil, &st.cw, maxWeight, false, reverse)
+	}
+	return Expansion{st: st}
+}
+
+// initSearchPool wires the graph's search-state pool; called by Freeze.
+func (g *Graph) initSearchPool() {
+	g.pool = &sync.Pool{New: func() any { return newSearchState(g) }}
+}
+
+// unreachable is the canonical "no path" weight.
+var unreachable = math.Inf(1)

@@ -9,6 +9,7 @@ package roadnet
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ecocharge/internal/geo"
 	"ecocharge/internal/spatial"
@@ -85,6 +86,7 @@ type Graph struct {
 	adj    [][]int32 // node -> indexes into edges
 	radj   [][]int32 // reverse adjacency, for return-trip costs
 	index  *spatial.Quadtree
+	pool   *sync.Pool // recycled searchState scratch (see flat.go); set by Freeze
 	frozen bool
 }
 
@@ -152,6 +154,7 @@ func (g *Graph) Freeze() {
 			g.index.Insert(spatial.Item{P: n.P, ID: int64(n.ID)})
 		}
 	}
+	g.initSearchPool()
 	g.frozen = true
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package roadnet
+
+const raceEnabled = false

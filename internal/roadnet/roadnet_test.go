@@ -309,6 +309,7 @@ func TestPathHelpers(t *testing.T) {
 
 func BenchmarkDijkstraUrban(b *testing.B) {
 	g := GenerateUrban(DefaultUrbanConfig())
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(1))
 	srcs := make([]NodeID, 64)
 	dsts := make([]NodeID, 64)
@@ -324,6 +325,7 @@ func BenchmarkDijkstraUrban(b *testing.B) {
 
 func BenchmarkBoundedDijkstra5km(b *testing.B) {
 	g := GenerateUrban(DefaultUrbanConfig())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.DistancesWithin(NodeID(i%g.NumNodes()), DistanceWeight, 5000)

@@ -1,142 +1,84 @@
 package roadnet
 
 import (
-	"container/heap"
-	"math"
-
 	"ecocharge/internal/geo"
 )
 
-// spItem is a priority-queue element for Dijkstra/A*.
-type spItem struct {
-	node NodeID
-	prio float64 // dist (Dijkstra) or dist+heuristic (A*)
-}
-
-type spHeap []spItem
-
-func (h spHeap) Len() int            { return len(h) }
-func (h spHeap) Less(i, j int) bool  { return h[i].prio < h[j].prio }
-func (h spHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *spHeap) Push(x interface{}) { *h = append(*h, x.(spItem)) }
-func (h *spHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+// All point-to-point and expansion queries below run on the flat kernel in
+// flat.go: pooled search states with generation-stamped dense arrays replace
+// the per-call map[NodeID] bookkeeping of the original implementation. The
+// differential suite in flat_test.go proves each query equivalent to its
+// map-backed predecessor before that code was deleted.
 
 // ShortestPath runs Dijkstra from src to dst under the weight function.
 // It returns the path and true, or a zero path and false when dst is
 // unreachable. Negative weights are a caller bug and panic.
 func (g *Graph) ShortestPath(src, dst NodeID, w WeightFunc) (Path, bool) {
-	dist, prev := g.dijkstra(src, dst, w, math.Inf(1))
-	d, ok := dist[dst]
-	if !ok {
+	g.mustFrozen()
+	if !g.validID(src) || !g.validID(dst) {
 		return Path{}, false
 	}
-	return Path{Nodes: reconstruct(prev, src, dst), Weight: d}, true
+	st := g.acquireState()
+	defer st.release()
+	st.run(src, dst, w, nil, unreachable, true, false)
+	if !st.reached(dst) {
+		return Path{}, false
+	}
+	return Path{Nodes: st.path(src, dst), Weight: st.dist[dst]}, true
 }
 
 // ShortestDistance returns only the weight of the shortest src→dst path,
-// or +Inf when unreachable. It avoids path reconstruction.
+// or +Inf when unreachable. It runs with predecessor bookkeeping disabled:
+// distance-only callers pay for distances only.
 func (g *Graph) ShortestDistance(src, dst NodeID, w WeightFunc) float64 {
-	dist, _ := g.dijkstra(src, dst, w, math.Inf(1))
-	if d, ok := dist[dst]; ok {
-		return d
+	g.mustFrozen()
+	if !g.validID(src) || !g.validID(dst) {
+		return unreachable
 	}
-	return math.Inf(1)
+	st := g.acquireState()
+	defer st.release()
+	st.run(src, dst, w, nil, unreachable, false, false)
+	if !st.reached(dst) {
+		return unreachable
+	}
+	return st.dist[dst]
 }
 
 // DistancesWithin runs a bounded Dijkstra from src, returning the weight of
-// every node reachable within maxWeight. This is the network-expansion
-// primitive of the derouting-cost component: one expansion prices all
-// candidate chargers around the vehicle.
+// every node reachable within maxWeight. This is the map-shaped convenience
+// form of the network-expansion primitive; hot callers use ExpandFrom and
+// read the dense arrays directly through Expansion.
+//
+//ecolint:ignore hotalloc map-shaped convenience API; hot callers use ExpandFrom
 func (g *Graph) DistancesWithin(src NodeID, w WeightFunc, maxWeight float64) map[NodeID]float64 {
-	dist, _ := g.dijkstra(src, Invalid, w, maxWeight)
-	return dist
+	g.mustFrozen()
+	if !g.validID(src) {
+		return nil
+	}
+	st := g.acquireState()
+	defer st.release()
+	st.run(src, Invalid, w, nil, maxWeight, false, false)
+	return st.toMap()
 }
 
 // DistancesTo runs a bounded Dijkstra on the reverse graph, yielding the
-// weight of reaching dst from every node within maxWeight. Used for the
-// return-to-route leg of the derouting cost.
+// weight of reaching dst from every node within maxWeight. Map-shaped
+// convenience form of ExpandTo, used for the return-to-route leg.
+//
+//ecolint:ignore hotalloc map-shaped convenience API; hot callers use ExpandTo
 func (g *Graph) DistancesTo(dst NodeID, w WeightFunc, maxWeight float64) map[NodeID]float64 {
 	g.mustFrozen()
 	if !g.validID(dst) {
 		return nil
 	}
-	dist := map[NodeID]float64{dst: 0}
-	done := make(map[NodeID]bool)
-	pq := &spHeap{{node: dst, prio: 0}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(spItem)
-		if done[cur.node] {
-			continue
-		}
-		done[cur.node] = true
-		for _, ei := range g.radj[cur.node] {
-			e := g.edges[ei]
-			wt := w(e)
-			if wt < 0 {
-				panic("roadnet: negative edge weight")
-			}
-			nd := dist[cur.node] + wt
-			if nd > maxWeight {
-				continue
-			}
-			if old, ok := dist[e.From]; !ok || nd < old {
-				dist[e.From] = nd
-				heap.Push(pq, spItem{node: e.From, prio: nd})
-			}
-		}
-	}
-	return dist
-}
-
-// dijkstra is the shared forward search. When dst is valid the search stops
-// as soon as dst settles; when maxWeight is finite nodes beyond the bound
-// are not expanded.
-func (g *Graph) dijkstra(src, dst NodeID, w WeightFunc, maxWeight float64) (map[NodeID]float64, map[NodeID]NodeID) {
-	g.mustFrozen()
-	if !g.validID(src) {
-		return nil, nil
-	}
-	dist := map[NodeID]float64{src: 0}
-	prev := make(map[NodeID]NodeID)
-	done := make(map[NodeID]bool)
-	pq := &spHeap{{node: src, prio: 0}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(spItem)
-		if done[cur.node] {
-			continue
-		}
-		done[cur.node] = true
-		if cur.node == dst {
-			break
-		}
-		for _, ei := range g.adj[cur.node] {
-			e := g.edges[ei]
-			wt := w(e)
-			if wt < 0 {
-				panic("roadnet: negative edge weight")
-			}
-			nd := dist[cur.node] + wt
-			if nd > maxWeight {
-				continue
-			}
-			if old, ok := dist[e.To]; !ok || nd < old {
-				dist[e.To] = nd
-				prev[e.To] = cur.node
-				heap.Push(pq, spItem{node: e.To, prio: nd})
-			}
-		}
-	}
-	return dist, prev
+	st := g.acquireState()
+	defer st.release()
+	st.run(dst, Invalid, w, nil, maxWeight, false, true)
+	return st.toMap()
 }
 
 // AStar runs A* from src to dst under the weight function, using a
-// haversine-based admissible heuristic scaled by heuristicSpeedup. For the
+// haversine-based admissible heuristic scaled by heuristicScale. For the
 // distance metric pass 1.0; for time metrics pass the inverse of the
 // maximum speed so the heuristic stays admissible.
 func (g *Graph) AStar(src, dst NodeID, w WeightFunc, heuristicScale float64) (Path, bool) {
@@ -148,54 +90,36 @@ func (g *Graph) AStar(src, dst NodeID, w WeightFunc, heuristicScale float64) (Pa
 	h := func(id NodeID) float64 {
 		return geo.Distance(g.nodes[id].P, target) * heuristicScale
 	}
-	dist := map[NodeID]float64{src: 0}
-	prev := make(map[NodeID]NodeID)
-	done := make(map[NodeID]bool)
-	pq := &spHeap{{node: src, prio: h(src)}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(spItem)
-		if done[cur.node] {
+	st := g.acquireState()
+	defer st.release()
+	st.dist[src] = 0
+	st.seen[src] = st.stamp
+	st.prev[src] = Invalid
+	st.pq.push(src, h(src))
+	for len(st.pq.items) > 0 {
+		cur := st.pq.pop()
+		if st.done[cur.node] == st.stamp {
 			continue
 		}
-		done[cur.node] = true
+		st.done[cur.node] = st.stamp
 		if cur.node == dst {
-			return Path{Nodes: reconstruct(prev, src, dst), Weight: dist[dst]}, true
+			return Path{Nodes: st.path(src, dst), Weight: st.dist[dst]}, true
 		}
+		base := st.dist[cur.node]
 		for _, ei := range g.adj[cur.node] {
-			e := g.edges[ei]
-			wt := w(e)
+			e := &g.edges[ei]
+			wt := w(*e)
 			if wt < 0 {
 				panic("roadnet: negative edge weight")
 			}
-			nd := dist[cur.node] + wt
-			if old, ok := dist[e.To]; !ok || nd < old {
-				dist[e.To] = nd
-				prev[e.To] = cur.node
-				heap.Push(pq, spItem{node: e.To, prio: nd + h(e.To)})
+			nd := base + wt
+			if st.seen[e.To] != st.stamp || nd < st.dist[e.To] {
+				st.dist[e.To] = nd
+				st.seen[e.To] = st.stamp
+				st.prev[e.To] = cur.node
+				st.pq.push(e.To, nd+h(e.To))
 			}
 		}
 	}
 	return Path{}, false
-}
-
-func reconstruct(prev map[NodeID]NodeID, src, dst NodeID) []NodeID {
-	if src == dst {
-		return []NodeID{src}
-	}
-	var rev []NodeID
-	for at := dst; ; {
-		rev = append(rev, at)
-		if at == src {
-			break
-		}
-		p, ok := prev[at]
-		if !ok {
-			return nil // should not happen when dist[dst] exists
-		}
-		at = p
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
 }
