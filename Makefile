@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint chaos fuzz bench bench-smoke bench-diff figures examples clean
+.PHONY: all build test race vet lint chaos fuzz bench bench-smoke bench-diff cover figures examples clean
 
 all: build vet lint test chaos bench-smoke
 
@@ -47,6 +47,7 @@ bench:
 # uploads as an artifact for cross-commit comparison against BENCH_seed.json.
 bench-smoke:
 	$(GO) run ./cmd/ecobench -fig 6 -dataset Oldenburg -scale 0.0005 -reps 1 -trips 1 -json bench-smoke.json
+	$(GO) test -run='^$$' -bench=BenchmarkObsOverhead -benchtime=20x ./internal/cknn
 
 # Re-run the seed benchmark configuration and diff ft_ms per method against
 # the committed BENCH_seed.json baseline (see docs/perf.md). Fails on any
@@ -55,6 +56,18 @@ bench-smoke:
 bench-diff:
 	$(GO) run ./cmd/ecobench -fig 6 -dataset Oldenburg -workers 1 -json bench-current.json
 	$(GO) run ./cmd/benchdiff -seed BENCH_seed.json -current bench-current.json -report bench-diff.txt
+
+# Coverage gate: aggregate statement coverage across every package against a
+# ratcheted floor — raise it when coverage improves, never lower it. The
+# profile (cover.out) is uploaded as a CI artifact for drill-down.
+COVER_FLOOR = 78.0
+
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { \
+		if (t+0 < f+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
 # Regenerate every evaluation figure (paper Figs. 6-9 + the design,
 # horizon, and scalability supplements) as text tables.
@@ -71,4 +84,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt bench-smoke.json bench-current.json bench-diff.txt
+	rm -f test_output.txt bench_output.txt bench-smoke.json bench-current.json bench-diff.txt cover.out

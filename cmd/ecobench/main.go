@@ -24,6 +24,7 @@ import (
 
 	"ecocharge/internal/experiment"
 	"ecocharge/internal/fault"
+	"ecocharge/internal/obs"
 )
 
 func main() {
@@ -124,6 +125,11 @@ type benchRow struct {
 	FaultRate float64 `json:"fault_rate"`
 	SCPct     float64 `json:"sc_pct"`
 	FtMs      float64 `json:"ft_ms"`
+	// Obs is the registry delta of this figure×dataset run (cache traffic,
+	// prune counts, pool stats, ...); rows of the same run share it because
+	// methods execute interleaved within one scenario pass. benchdiff
+	// ignores the field.
+	Obs map[string]float64 `json:"obs,omitempty"`
 }
 
 // resolveCommit prefers the -commit flag, then the VCS revision stamped into
@@ -250,11 +256,14 @@ func run(ctx context.Context, o runOpts) error {
 			continue
 		}
 		var all []experiment.Measurement
+		obsByDataset := make(map[string]map[string]float64, len(scenarios))
 		for _, sc := range scenarios {
+			before := obs.Default().Snapshot()
 			ms, err := spec.run(ctx, sc, o.cfg)
 			if err != nil {
 				return err
 			}
+			obsByDataset[sc.Name] = obs.DeltaSnapshot(before, obs.Default().Snapshot())
 			all = append(all, ms...)
 		}
 		var err error
@@ -274,6 +283,7 @@ func run(ctx context.Context, o runOpts) error {
 				Fig: spec.id, Dataset: m.Dataset, Method: m.Method, Config: m.Config,
 				FaultRate: o.faultRate,
 				SCPct:     m.SCPercent.Mean, FtMs: m.FtMillis.Mean,
+				Obs: obsByDataset[m.Dataset],
 			})
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,19 +25,23 @@ import (
 	"ecocharge/internal/eis"
 	"ecocharge/internal/experiment"
 	"ecocharge/internal/fault"
+	"ecocharge/internal/obs"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		dataset   = flag.String("dataset", "Oldenburg", "dataset profile: Oldenburg, California, T-drive, Geolife")
-		seed      = flag.Int64("seed", 42, "scenario seed")
-		ttl       = flag.Duration("cache-ttl", 5*time.Minute, "server-side dynamic cache TTL")
-		cell      = flag.Float64("cache-cell", 2000, "server-side cache cell size in meters")
-		workers   = flag.Int("workers", 0, "ranking parallelism per request (0 = GOMAXPROCS, 1 = sequential)")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
-		faultRate = flag.Float64("faultrate", 0, "injected EC-source fault rate in [0,1] (chaos/testing; 0 disables)")
-		faultSeed = flag.Int64("faultseed", 1, "fault-injection seed (with -faultrate)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataset     = flag.String("dataset", "Oldenburg", "dataset profile: Oldenburg, California, T-drive, Geolife")
+		seed        = flag.Int64("seed", 42, "scenario seed")
+		ttl         = flag.Duration("cache-ttl", 5*time.Minute, "server-side dynamic cache TTL")
+		cell        = flag.Float64("cache-cell", 2000, "server-side cache cell size in meters")
+		workers     = flag.Int("workers", 0, "ranking parallelism per request (0 = GOMAXPROCS, 1 = sequential)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+		faultRate   = flag.Float64("faultrate", 0, "injected EC-source fault rate in [0,1] (chaos/testing; 0 disables)")
+		faultSeed   = flag.Int64("faultseed", 1, "fault-injection seed (with -faultrate)")
+		debugP      = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (profiling; do not expose publicly)")
+		traceP      = flag.String("trace", "", "export request spans as JSON lines to this file")
+		traceSample = flag.Int64("trace-sample", 1, "export one trace in N (with -trace; 1 = every trace)")
 	)
 	flag.Parse()
 
@@ -45,9 +50,26 @@ func main() {
 		dataset: *dataset, seed: *seed, ttl: *ttl, cellM: *cell, workers: *workers,
 		faultRate: *faultRate, faultSeed: *faultSeed,
 	}
+	if *traceP != "" {
+		f, err := os.OpenFile(*traceP, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("eis: opening -trace file: %v", err)
+		}
+		defer f.Close()
+		every := uint64(1)
+		if *traceSample > 1 {
+			every = uint64(*traceSample)
+		}
+		cfg.tracer = obs.NewTracer(f, obs.TracerOptions{SampleEvery: every})
+		logger.Printf("eis: exporting spans to %s (1 in %d traces)", *traceP, every)
+	}
 	handler, desc, err := newHandler(cfg, logger)
 	if err != nil {
 		logger.Fatalf("eis: %v", err)
+	}
+	if *debugP {
+		handler = withPprof(handler)
+		logger.Printf("eis: pprof mounted at /debug/pprof/")
 	}
 	logger.Printf("eis: serving %s on %s", desc, *addr)
 
@@ -95,6 +117,20 @@ func run(ctx context.Context, addr string, handler http.Handler, drain time.Dura
 	return nil
 }
 
+// withPprof overlays the stdlib profiling handlers on the API routes. The
+// explicit registrations keep the server off http.DefaultServeMux, so
+// nothing else that imports net/http/pprof can leak handlers into the EIS.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // handlerConfig carries the scenario and resilience knobs of newHandler.
 type handlerConfig struct {
 	dataset   string
@@ -104,6 +140,7 @@ type handlerConfig struct {
 	workers   int
 	faultRate float64
 	faultSeed int64
+	tracer    *obs.Tracer
 }
 
 // newHandler assembles the scenario and returns the EIS routes plus a
@@ -131,6 +168,7 @@ func newHandler(cfg handlerConfig, logger *log.Logger) (http.Handler, string, er
 		CacheCellM: cfg.cellM,
 		Workers:    cfg.workers,
 		Logger:     logger,
+		Tracer:     cfg.tracer,
 	})
 	mw := &eis.Middleware{MaxInFlight: 256, Logger: logger}
 	return mw.Wrap(srv.Handler()), desc, nil

@@ -57,15 +57,14 @@ func (c *ShardedCache) Lookup(owner uint64, q Query, opts EcoChargeOptions) (Off
 	s.mu.Lock()
 	t, ok := s.tables[owner]
 	s.mu.Unlock()
-	if !ok {
-		return OfferingTable{}, false
-	}
-	if geo.Distance(q.Anchor, t.Anchor) <= opts.ReuseDistM &&
+	if ok && geo.Distance(q.Anchor, t.Anchor) <= opts.ReuseDistM &&
 		q.Now.Sub(t.GeneratedAt) <= opts.TTL &&
 		!q.Now.Before(t.GeneratedAt) &&
 		len(t.Entries) > 0 {
+		met.cacheHits.Inc()
 		return t, true
 	}
+	met.cacheMisses.Inc()
 	return OfferingTable{}, false
 }
 
@@ -73,16 +72,26 @@ func (c *ShardedCache) Lookup(owner uint64, q Query, opts EcoChargeOptions) (Off
 func (c *ShardedCache) Store(owner uint64, t OfferingTable) {
 	s := c.shard(owner)
 	s.mu.Lock()
+	_, existed := s.tables[owner]
 	s.tables[owner] = t
 	s.mu.Unlock()
+	met.cacheStores.Inc()
+	if !existed {
+		met.cacheSlots.Inc()
+	}
 }
 
 // Invalidate drops the owner's slot (new trip, new cache).
 func (c *ShardedCache) Invalidate(owner uint64) {
 	s := c.shard(owner)
 	s.mu.Lock()
+	_, existed := s.tables[owner]
 	delete(s.tables, owner)
 	s.mu.Unlock()
+	met.cacheInvalidations.Inc()
+	if existed {
+		met.cacheSlots.Dec()
+	}
 }
 
 // Len reports the number of live slots across all shards (diagnostics).

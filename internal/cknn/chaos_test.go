@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"ecocharge/internal/cknn"
+	"ecocharge/internal/cknn/tabletest"
 	"ecocharge/internal/experiment"
 	"ecocharge/internal/fault"
 )
@@ -188,51 +189,10 @@ func componentOf(c cknn.Components, comp cknn.Component) interval {
 // interval avoids importing internal/interval just for bounds checks.
 type interval struct{ Min, Max float64 }
 
-// validateChaosTable asserts structural validity: bounded size, unique
-// chargers, normalized intervals, and the total order (non-increasing SC
-// midpoint with the documented tie-breaks).
+// validateChaosTable asserts structural validity through the shared
+// invariant harness; the Random baseline never computes scores, so only the
+// structural half applies to it.
 func validateChaosTable(t *testing.T, table cknn.OfferingTable, k int, method string) {
 	t.Helper()
-	if len(table.Entries) > k {
-		t.Fatalf("%s: table holds %d entries, want at most %d", method, len(table.Entries), k)
-	}
-	seen := make(map[int64]bool, len(table.Entries))
-	for i, e := range table.Entries {
-		if e.Charger == nil {
-			t.Fatalf("%s: entry %d has no charger", method, i)
-		}
-		if seen[e.Charger.ID] {
-			t.Fatalf("%s: charger %d offered twice", method, e.Charger.ID)
-		}
-		seen[e.Charger.ID] = true
-		if method == "Random" {
-			continue
-		}
-		if !(e.SC.Min <= e.SC.Max) || e.SC.Min < 0 || e.SC.Max > 1+1e-9 {
-			t.Fatalf("%s: entry %d SC [%v,%v] invalid", method, i, e.SC.Min, e.SC.Max)
-		}
-		if i == 0 {
-			continue
-		}
-		prev, cur := table.Entries[i-1], e
-		pm, cm := prev.SC.Mid(), cur.SC.Mid()
-		if pm < cm {
-			t.Fatalf("%s: entries %d/%d out of order: mid %v < %v", method, i-1, i, pm, cm)
-		}
-		if pm == cm {
-			// Tie-break chain: SC.Max desc, SC.Min desc, then ID asc.
-			switch {
-			case prev.SC.Max != cur.SC.Max:
-				if prev.SC.Max < cur.SC.Max {
-					t.Fatalf("%s: tie at %d broken against SC.Max order", method, i)
-				}
-			case prev.SC.Min != cur.SC.Min:
-				if prev.SC.Min < cur.SC.Min {
-					t.Fatalf("%s: tie at %d broken against SC.Min order", method, i)
-				}
-			case prev.Charger.ID >= cur.Charger.ID:
-				t.Fatalf("%s: full tie at %d not in charger-ID order", method, i)
-			}
-		}
-	}
+	tabletest.CheckOpts(t, table, k, method, tabletest.Options{SkipScores: method == "Random"})
 }

@@ -40,6 +40,7 @@ type DeroutingMaps struct {
 // Release returns the underlying expansion scratch to the graph's pool.
 // It must be called exactly once, after the last Cost/TravelTo read.
 func (d DeroutingMaps) Release() {
+	met.deroutReleases.Inc()
 	d.fwdLo.Release()
 	d.retLo.Release()
 	if !d.approx {
@@ -53,6 +54,7 @@ func (d DeroutingMaps) Release() {
 // deroutingMaps runs the four bounded expansions. boundSec limits the
 // search effort; pass math.Inf(1) for the exhaustive (brute-force) variant.
 func (env *Env) deroutingMaps(q Query, boundSec float64) DeroutingMaps {
+	met.deroutExact.Inc()
 	loT, hiT := env.Traffic.ClassWeightTables(q.ETABase, q.Now)
 	ret := q.ReturnNode
 	if ret < 0 {
@@ -99,6 +101,7 @@ func lookup(m map[roadnet.NodeID]float64, id roadnet.NodeID, def float64) float6
 // intervals. The ratios are applied lazily on read — the two expansions are
 // shared between the lo and hi views, nothing is copied.
 func (env *Env) deroutingMapsApprox(q Query, boundSec float64) DeroutingMaps {
+	met.deroutApprox.Inc()
 	loT, hiT := env.Traffic.ClassWeightTables(q.ETABase, q.Now)
 
 	// Mid-traffic table plus the global scaling band across road classes:

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ecocharge/internal/charger"
 	"ecocharge/internal/interval"
@@ -68,6 +69,7 @@ func (e *Engine) evaluate(c *charger.Charger, d DeroutingMaps, q Query) (Entry, 
 	}
 
 	comp := Components{L: l, A: a, D: dn, ETA: eta, DeroutSecM: derout.Mid(), Degraded: deg}
+	countDegraded(deg)
 	return Entry{Charger: c, SC: comp.SC(q.Weights), Comp: comp}, true
 }
 
@@ -92,10 +94,18 @@ func capAbove(x interval.I, cap float64) interval.I {
 // the top-k and Rank orders entries under a total order (ties fall back to
 // the charger ID).
 func (e *Engine) rankPool(cands []*charger.Charger, d DeroutingMaps, q Query) []Entry {
+	filterStart := time.Now()
+	var entries []Entry
 	if e.Workers > 1 && len(cands) >= minParallelCands {
-		return Rank(e.evalPoolParallel(cands, d, q), q.K)
+		entries = e.evalPoolParallel(cands, d, q)
+	} else {
+		entries = e.evalPoolSeq(cands, d, q)
 	}
-	return Rank(e.evalPoolSeq(cands, d, q), q.K)
+	met.filterSeconds.Since(filterStart)
+	refineStart := time.Now()
+	out := Rank(entries, q.K)
+	met.refineSeconds.Since(refineStart)
+	return out
 }
 
 // minParallelCands is the pool size below which goroutine hand-off costs
@@ -131,12 +141,15 @@ func (e *Engine) evalPoolSeq(cands []*charger.Charger, d DeroutingMaps, q Query)
 	mins := newBottomK(q.K)
 	for _, c := range cands {
 		if upper, ok := e.pruneBound(c, d, q); ok && upper < kthMin {
+			met.pruneRejected.Inc()
 			continue // pruned: cannot enter the top-k
 		}
 		entry, ok := e.evaluate(c, d, q)
 		if !ok {
+			met.unreachable.Inc()
 			continue
 		}
+		met.evaluated.Inc()
 		entries = append(entries, entry)
 		if mins.push(entry.SC.Min) {
 			kthMin = mins.kth()
@@ -180,12 +193,15 @@ func (e *Engine) evalPoolParallel(cands []*charger.Charger, d DeroutingMaps, q Q
 				c := cands[i]
 				if upper, ok := e.pruneBound(c, d, q); ok &&
 					upper < math.Float64frombits(kthBits.Load()) {
+					met.pruneRejected.Inc()
 					continue
 				}
 				entry, ok := e.evaluate(c, d, q)
 				if !ok {
+					met.unreachable.Inc()
 					continue
 				}
+				met.evaluated.Inc()
 				results[i] = entry
 				keep[i] = true
 				mu.Lock()

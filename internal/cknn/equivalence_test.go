@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"ecocharge/internal/cknn"
+	"ecocharge/internal/cknn/tabletest"
 	"ecocharge/internal/experiment"
 	"ecocharge/internal/trajectory"
 )
@@ -70,6 +71,12 @@ func TestParallelTripEquivalence(t *testing.T) {
 						if !reflect.DeepEqual(want, got) {
 							t.Fatalf("trip %d: Workers=4 results differ from Workers=1\nseq: %v\npar: %v",
 								trip.ID, summarize(want), summarize(got))
+						}
+						// Equivalence alone would accept two identically
+						// malformed tables; pin the invariants too.
+						for _, res := range want {
+							tabletest.CheckOpts(t, res.Table, seq.K, mt.name,
+								tabletest.Options{SkipScores: mt.name == "Random"})
 						}
 						wantSL := cknn.SplitList(sc.Env, mt.build(), trip, seq)
 						gotSL := cknn.SplitList(sc.Env, mt.build(), trip, par)

@@ -329,6 +329,7 @@ func (m *EcoCharge) adapt(cached OfferingTable, q Query) OfferingTable {
 	for _, e := range cached.Entries {
 		straight := geo.Distance(q.Anchor, e.Charger.P)
 		if straight > q.RadiusM {
+			met.cacheAdaptDropped.Inc()
 			continue // drifted out of the search radius
 		}
 		// Shift the cached network derouting by the geodesic movement
@@ -361,6 +362,7 @@ func (m *EcoCharge) adapt(cached OfferingTable, q Query) OfferingTable {
 			comp.Degraded &^= DegradedD
 		}
 		comp.DeroutSecM = approxSec
+		countDegraded(comp.Degraded)
 		out.Entries = append(out.Entries, Entry{
 			Charger: e.Charger,
 			SC:      comp.SC(q.Weights),

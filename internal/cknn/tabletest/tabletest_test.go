@@ -1,0 +1,92 @@
+package tabletest
+
+import (
+	"strings"
+	"testing"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/interval"
+)
+
+func entry(id int64, scMin, scMax float64) cknn.Entry {
+	return cknn.Entry{
+		Charger: &charger.Charger{ID: id},
+		SC:      interval.New(scMin, scMax),
+		Comp: cknn.Components{
+			L: interval.New(scMin, scMax),
+			A: interval.New(scMin, scMax),
+			D: interval.New(0, 0),
+		},
+	}
+}
+
+func table(entries ...cknn.Entry) cknn.OfferingTable {
+	return cknn.OfferingTable{Entries: entries}
+}
+
+func TestErrAcceptsValidTables(t *testing.T) {
+	valid := table(entry(2, 0.6, 0.8), entry(1, 0.5, 0.7), entry(3, 0.1, 0.2))
+	if err := Err(valid, 3, Options{}); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	if err := Err(cknn.OfferingTable{}, 3, Options{}); err != nil {
+		t.Fatalf("empty table rejected: %v", err)
+	}
+	// Full ties must come out in charger-ID order.
+	tied := table(entry(1, 0.5, 0.5), entry(2, 0.5, 0.5))
+	if err := Err(tied, 2, Options{}); err != nil {
+		t.Fatalf("ID-ordered tie rejected: %v", err)
+	}
+}
+
+func TestErrCatchesViolations(t *testing.T) {
+	degraded := entry(1, 0.2, 0.9)
+	degraded.Comp.Degraded = cknn.DegradedL // but L is not the ignorance bound
+
+	cases := []struct {
+		name string
+		tab  cknn.OfferingTable
+		k    int
+		want string
+	}{
+		{"too many entries", table(entry(1, 0.5, 0.5), entry(2, 0.4, 0.4)), 1, "at most"},
+		{"nil charger", table(cknn.Entry{}), 3, "no charger"},
+		{"duplicate charger", table(entry(1, 0.6, 0.6), entry(1, 0.5, 0.5)), 3, "twice"},
+		{"SC above one", table(entry(1, 0.5, 1.5)), 3, "outside [0,1]"},
+		//ecolint:ignore intervalliteral deliberately malformed interval: the harness must reject it
+		{"SC inverted", table(cknn.Entry{Charger: &charger.Charger{ID: 1}, SC: interval.I{Min: 0.8, Max: 0.2}}), 3, "outside [0,1]"},
+		{"degraded without ignorance bound", table(degraded), 3, "ignorance bound"},
+		{"mid order violated", table(entry(1, 0.1, 0.2), entry(2, 0.6, 0.8)), 3, "out of order"},
+		{"tie against ID order", table(entry(2, 0.5, 0.5), entry(1, 0.5, 0.5)), 3, "charger-ID order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Err(tc.tab, tc.k, Options{})
+			if err == nil {
+				t.Fatalf("violation not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSkipScoresStillChecksStructure(t *testing.T) {
+	// Random-style entries: no scores, out of mid order — fine when skipped.
+	unscored := table(
+		cknn.Entry{Charger: &charger.Charger{ID: 5}},
+		cknn.Entry{Charger: &charger.Charger{ID: 2}},
+	)
+	if err := Err(unscored, 3, Options{SkipScores: true}); err != nil {
+		t.Fatalf("unscored table rejected under SkipScores: %v", err)
+	}
+	dup := table(
+		cknn.Entry{Charger: &charger.Charger{ID: 5}},
+		cknn.Entry{Charger: &charger.Charger{ID: 5}},
+	)
+	if err := Err(dup, 3, Options{SkipScores: true}); err == nil {
+		t.Fatal("duplicate charger accepted under SkipScores")
+	}
+}

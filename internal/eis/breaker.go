@@ -68,6 +68,7 @@ func (b *breaker) allow() error {
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
+		met.breakerHalfOpen.Inc()
 		return nil
 	default: // half-open
 		if b.probing {
@@ -83,6 +84,9 @@ func (b *breaker) allow() error {
 func (b *breaker) onSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		met.breakerClosed.Inc()
+	}
 	b.state = breakerClosed
 	b.failures = 0
 	b.probing = false
@@ -98,11 +102,13 @@ func (b *breaker) onFailure() {
 		b.state = breakerOpen
 		b.openedAt = b.now()
 		b.probing = false
+		met.breakerOpened.Inc()
 	case breakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state = breakerOpen
 			b.openedAt = b.now()
+			met.breakerOpened.Inc()
 		}
 	case breakerOpen:
 		// A request admitted before the state flipped lost its race; the

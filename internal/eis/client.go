@@ -14,6 +14,7 @@ import (
 
 	"ecocharge/internal/charger"
 	"ecocharge/internal/geo"
+	"ecocharge/internal/obs"
 )
 
 // maxResponseBytes bounds how much of a response body the client reads: a
@@ -50,6 +51,10 @@ type ClientOptions struct {
 	// Sleep waits between retries. Nil selects a context-aware timer wait.
 	// Tests inject a recorder so the suite never sleeps for real.
 	Sleep func(time.Duration)
+	// Tracer exports one root span per logical request plus one child span
+	// per attempt, and stamps the attempt's span context onto the outgoing
+	// headers so the server joins the same trace. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -152,12 +157,24 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 	if req.Method == http.MethodGet {
 		retries = c.opts.MaxRetries
 	}
+	// One root span covers the whole logical request: every retry attempt
+	// below becomes a child of it, so a retried exchange still reads as one
+	// trace with N attempt spans.
+	rootCtx, rootSpan := c.opts.Tracer.StartSpan(req.Context(), "eis.client "+req.URL.Path)
+	defer rootSpan.End()
 	var last attemptOutcome
 	for attempt := 0; ; attempt++ {
 		if err := br.allow(); err != nil {
 			return fmt.Errorf("eis client: %s %s: %w", req.Method, req.URL.Path, err)
 		}
-		last = c.attempt(req.Clone(req.Context()), out)
+		if attempt > 0 {
+			met.clientRetries.Inc()
+		}
+		attemptCtx, attemptSpan := c.opts.Tracer.StartSpan(rootCtx, "eis.attempt")
+		areq := req.Clone(req.Context())
+		obs.InjectHTTP(attemptCtx, areq.Header)
+		last = c.attempt(areq, out)
+		attemptSpan.End()
 		if last.fault {
 			br.onFailure()
 		} else {

@@ -1,0 +1,69 @@
+package eis
+
+import "ecocharge/internal/obs"
+
+// eisMetrics bundles the server- and client-side instrumentation handles of
+// the EIS, resolved once at package init. Every update is a single atomic
+// op; the request path never builds a metric name (per-endpoint histograms
+// are distinct handles with constant names, not one histogram with a
+// formatted label).
+type eisMetrics struct {
+	// Per-endpoint request duration histograms (server side, measured
+	// around the handler including JSON encoding).
+	httpChargers     *obs.Histogram
+	httpWeather      *obs.Histogram
+	httpAvailability *obs.Histogram
+	httpTraffic      *obs.Histogram
+	httpOffering     *obs.Histogram
+	httpTrip         *obs.Histogram
+	httpAdvice       *obs.Histogram
+
+	// Response cache (the server-side dynamic cache).
+	rescacheHits      *obs.Counter
+	rescacheMisses    *obs.Counter
+	rescacheExpired   *obs.Counter // entries reclaimed on touch or by the sweep
+	rescacheEvictions *obs.Counter // capacity evictions of live entries
+	rescacheEntries   *obs.Gauge   // current occupancy across all shards
+
+	// Single-flight offering computation: leaders run the ranking engine,
+	// coalesced followers wait for the leader's table.
+	flightLeads     *obs.Counter
+	flightCoalesced *obs.Counter
+
+	// Client-side circuit breaker state transitions.
+	breakerOpened   *obs.Counter
+	breakerHalfOpen *obs.Counter
+	breakerClosed   *obs.Counter
+
+	// Client retry attempts beyond the first exchange.
+	clientRetries *obs.Counter
+}
+
+func newEISMetrics(r *obs.Registry) *eisMetrics {
+	return &eisMetrics{
+		httpChargers:     r.Histogram("eis_http_seconds_chargers", nil),
+		httpWeather:      r.Histogram("eis_http_seconds_weather", nil),
+		httpAvailability: r.Histogram("eis_http_seconds_availability", nil),
+		httpTraffic:      r.Histogram("eis_http_seconds_traffic", nil),
+		httpOffering:     r.Histogram("eis_http_seconds_offering", nil),
+		httpTrip:         r.Histogram("eis_http_seconds_offering_trip", nil),
+		httpAdvice:       r.Histogram("eis_http_seconds_advice", nil),
+
+		rescacheHits:      r.Counter("eis_rescache_hits_total"),
+		rescacheMisses:    r.Counter("eis_rescache_misses_total"),
+		rescacheExpired:   r.Counter("eis_rescache_expired_total"),
+		rescacheEvictions: r.Counter("eis_rescache_evictions_total"),
+		rescacheEntries:   r.Gauge("eis_rescache_entries"),
+
+		flightLeads:     r.Counter("eis_singleflight_leads_total"),
+		flightCoalesced: r.Counter("eis_singleflight_coalesced_total"),
+
+		breakerOpened:   r.Counter("eis_breaker_opened_total"),
+		breakerHalfOpen: r.Counter("eis_breaker_halfopen_total"),
+		breakerClosed:   r.Counter("eis_breaker_closed_total"),
+
+		clientRetries: r.Counter("eis_client_retries_total"),
+	}
+}
+
+var met = newEISMetrics(obs.Default())

@@ -16,6 +16,7 @@ import (
 	"ecocharge/internal/charger"
 	"ecocharge/internal/cknn"
 	"ecocharge/internal/geo"
+	"ecocharge/internal/obs"
 	"ecocharge/internal/roadnet"
 )
 
@@ -45,6 +46,10 @@ type ServerOptions struct {
 	Clock func() time.Time
 	// Logger for request errors; nil silences logging.
 	Logger *log.Logger
+	// Tracer exports one server span per API request, joining the caller's
+	// trace when the request carries propagation headers. Nil disables
+	// tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -148,12 +153,17 @@ func (c *respCache) get(key cacheKey, now time.Time) (OfferingResponse, bool) {
 	defer s.mu.Unlock()
 	v, ok := s.m[key]
 	if !ok {
+		met.rescacheMisses.Inc()
 		return OfferingResponse{}, false
 	}
 	if now.After(v.expires) {
 		delete(s.m, key) // lazy expiry: reclaim on touch
+		met.rescacheExpired.Inc()
+		met.rescacheEntries.Dec()
+		met.rescacheMisses.Inc()
 		return OfferingResponse{}, false
 	}
+	met.rescacheHits.Inc()
 	return v.resp, true
 }
 
@@ -169,13 +179,19 @@ func (c *respCache) put(key cacheKey, resp OfferingResponse, now, expires time.T
 		for k, v := range s.m {
 			if now.After(v.expires) {
 				delete(s.m, k)
+				met.rescacheExpired.Inc()
+				met.rescacheEntries.Dec()
 			}
 		}
 	}
-	if _, exists := s.m[key]; !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
+	_, exists := s.m[key]
+	if !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
 		s.evictOldestLocked()
 	}
 	s.m[key] = cacheVal{resp: resp, expires: expires}
+	if !exists {
+		met.rescacheEntries.Inc()
+	}
 }
 
 // evictOldestLocked removes the entry closest to expiry — expired entries
@@ -194,6 +210,8 @@ func (s *respShard) evictOldestLocked() {
 	}
 	if found {
 		delete(s.m, oldest)
+		met.rescacheEvictions.Inc()
+		met.rescacheEntries.Dec()
 	}
 }
 
@@ -240,16 +258,42 @@ func (s *Server) withDeadline(h http.Handler) http.Handler {
 	})
 }
 
-// Handler returns the HTTP routes of the EIS.
+// instrument wraps an API handler with its per-endpoint duration histogram
+// and — when the server has a tracer — a server span that joins the
+// caller's trace if the request carries X-Trace-Id/X-Span-Id headers. A nil
+// tracer costs one histogram observation per request and nothing else.
+func (s *Server) instrument(name string, hist *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer hist.Since(start)
+		if s.opts.Tracer != nil {
+			ctx := r.Context()
+			if sc, ok := obs.ExtractHTTP(r.Header); ok {
+				ctx = obs.ContextWith(ctx, sc)
+			}
+			ctx, span := s.opts.Tracer.StartSpan(ctx, name)
+			defer span.End()
+			r = r.WithContext(ctx)
+		}
+		fn(w, r)
+	}
+}
+
+// Handler returns the HTTP routes of the EIS, including the observability
+// surface: /metrics (Prometheus-style text exposition) and /debug/vars
+// (JSON snapshot) over the process-wide default registry, which is where
+// the cknn/roadnet/eis packages register their metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(APIVersion+"/chargers", s.handleChargers)
-	mux.HandleFunc(APIVersion+"/weather", s.handleWeather)
-	mux.HandleFunc(APIVersion+"/availability", s.handleAvailability)
-	mux.HandleFunc(APIVersion+"/traffic", s.handleTraffic)
-	mux.HandleFunc(APIVersion+"/offering", s.handleOffering)
-	mux.HandleFunc(APIVersion+"/offering/trip", s.handleTripOffering)
-	mux.HandleFunc(APIVersion+"/advice", s.handleAdvice)
+	mux.HandleFunc(APIVersion+"/chargers", s.instrument("eis.chargers", met.httpChargers, s.handleChargers))
+	mux.HandleFunc(APIVersion+"/weather", s.instrument("eis.weather", met.httpWeather, s.handleWeather))
+	mux.HandleFunc(APIVersion+"/availability", s.instrument("eis.availability", met.httpAvailability, s.handleAvailability))
+	mux.HandleFunc(APIVersion+"/traffic", s.instrument("eis.traffic", met.httpTraffic, s.handleTraffic))
+	mux.HandleFunc(APIVersion+"/offering", s.instrument("eis.offering", met.httpOffering, s.handleOffering))
+	mux.HandleFunc(APIVersion+"/offering/trip", s.instrument("eis.offering.trip", met.httpTrip, s.handleTripOffering))
+	mux.HandleFunc(APIVersion+"/advice", s.instrument("eis.advice", met.httpAdvice, s.handleAdvice))
+	mux.Handle("/metrics", obs.Default().Handler())
+	mux.Handle("/debug/vars", obs.Default().VarsHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = fmt.Fprintln(w, "ok") // client went away; nothing to do with the error
@@ -498,6 +542,7 @@ func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() OfferingRe
 	}
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
+		met.flightCoalesced.Inc()
 		select {
 		case <-f.done:
 			return f.resp, true, nil
@@ -508,6 +553,7 @@ func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() OfferingRe
 	f := &flight{done: make(chan struct{})}
 	g.m[key] = f
 	g.mu.Unlock()
+	met.flightLeads.Inc()
 
 	f.resp = fn()
 	close(f.done)

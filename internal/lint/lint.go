@@ -59,6 +59,7 @@ var All = []*Analyzer{
 	LibPrint,
 	HTTPServer,
 	HotAlloc,
+	ObsAlloc,
 }
 
 // ByName returns the analyzer with the given name, or nil.

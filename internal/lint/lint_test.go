@@ -30,6 +30,9 @@ func TestAnalyzersGolden(t *testing.T) {
 		// hotalloc only fires inside internal/roadnet, so the fixture
 		// masquerades as that package.
 		{HotAlloc, "ecocharge/internal/lintfixture/internal/roadnet"},
+		// obsalloc fires in internal/cknn and internal/roadnet; the fixture
+		// masquerades as the former.
+		{ObsAlloc, "ecocharge/internal/lintfixture/internal/cknn"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps deterministically so span durations are exact.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(time.Millisecond)
+	return f.now
+}
+
+func TestSpanParentChildAndExport(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{Clock: (&fakeClock{now: time.Unix(0, 0).UTC()}).Now})
+
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	ctx2, child := tr.StartSpan(ctx, "child")
+	_, grandchild := tr.StartSpan(ctx2, "grandchild")
+	grandchild.End()
+	child.End()
+	root.End()
+
+	recs, err := ParseSpanRecords(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseSpanRecords: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("exported %d spans, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	rootRec, childRec, gcRec := byName["root"], byName["child"], byName["grandchild"]
+	if rootRec.Trace == "" || rootRec.Parent != "" {
+		t.Fatalf("root record malformed: %+v", rootRec)
+	}
+	if childRec.Trace != rootRec.Trace || gcRec.Trace != rootRec.Trace {
+		t.Fatal("spans of one operation landed in different traces")
+	}
+	if childRec.Parent != rootRec.Span {
+		t.Fatalf("child parent = %q, want root span %q", childRec.Parent, rootRec.Span)
+	}
+	if gcRec.Parent != childRec.Span {
+		t.Fatalf("grandchild parent = %q, want child span %q", gcRec.Parent, childRec.Span)
+	}
+	for _, r := range recs {
+		if r.DurNS <= 0 {
+			t.Fatalf("span %s has non-positive duration %d", r.Name, r.DurNS)
+		}
+	}
+}
+
+func TestHTTPPropagationRoundTrip(t *testing.T) {
+	tr := NewTracer(nil, TracerOptions{})
+	ctx, span := tr.StartSpan(context.Background(), "client")
+	h := make(http.Header)
+	InjectHTTP(ctx, h)
+	got, ok := ExtractHTTP(h)
+	if !ok {
+		t.Fatal("headers did not round-trip")
+	}
+	if got != span.Context() {
+		t.Fatalf("extracted %+v, want %+v", got, span.Context())
+	}
+	// Absent or garbage headers extract nothing.
+	if _, ok := ExtractHTTP(make(http.Header)); ok {
+		t.Fatal("empty headers produced a span context")
+	}
+	bad := make(http.Header)
+	bad.Set(HeaderTraceID, "not-hex")
+	bad.Set(HeaderSpanID, "123")
+	if _, ok := ExtractHTTP(bad); ok {
+		t.Fatal("garbage trace ID accepted")
+	}
+}
+
+func TestSamplingIsPerTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{SampleEvery: 2})
+	exported, dropped := 0, 0
+	for i := 0; i < 64; i++ {
+		ctx, root := tr.StartSpan(context.Background(), "op")
+		_, child := tr.StartSpan(ctx, "step")
+		child.End()
+		root.End()
+		recs, err := ParseSpanRecords(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		switch len(recs) {
+		case 0:
+			dropped++
+		case 2:
+			exported++ // sampled traces export whole: root and child
+		default:
+			t.Fatalf("trace exported %d spans, want 0 or 2", len(recs))
+		}
+	}
+	if exported == 0 || dropped == 0 {
+		t.Fatalf("sampling degenerate: %d exported, %d dropped", exported, dropped)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	if ctx == nil {
+		t.Fatal("nil tracer lost the context")
+	}
+	span.End() // must not panic
+	if span.Context().Valid() {
+		t.Fatal("nil span claims a valid context")
+	}
+	if _, ok := FromContext(ctx); ok {
+		t.Fatal("nil tracer injected a span context")
+	}
+}
+
+func TestTracerIDsUniqueUnderConcurrency(t *testing.T) {
+	tr := NewTracer(nil, TracerOptions{Seed: 99})
+	const n = 2000
+	ids := make(chan uint64, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				_, sp := tr.StartSpan(context.Background(), "x")
+				ids <- sp.Context().SpanID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[uint64]bool, n)
+	for id := range ids {
+		if id == 0 {
+			t.Fatal("zero span ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span ID %x", id)
+		}
+		seen[id] = true
+	}
+}

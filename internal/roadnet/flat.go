@@ -150,6 +150,7 @@ func newSearchState(g *Graph) *searchState {
 // acquireState checks a search state out of the graph's pool and starts a
 // fresh generation. Callers must release it exactly once.
 func (g *Graph) acquireState() *searchState {
+	met.poolAcquires.Inc()
 	st := g.pool.Get().(*searchState)
 	st.begin()
 	return st
@@ -178,6 +179,7 @@ func (st *searchState) release() {
 		return
 	}
 	st.inUse = false
+	met.poolReleases.Inc()
 	st.g.pool.Put(st)
 }
 
@@ -329,6 +331,7 @@ func (g *Graph) ExpandTo(dst NodeID, cw ClassWeights, maxWeight float64) Expansi
 }
 
 func (g *Graph) expand(origin NodeID, cw ClassWeights, maxWeight float64, reverse bool) Expansion {
+	met.expansions.Inc()
 	g.mustFrozen()
 	st := g.acquireState()
 	if g.validID(origin) {
@@ -340,7 +343,10 @@ func (g *Graph) expand(origin NodeID, cw ClassWeights, maxWeight float64, revers
 
 // initSearchPool wires the graph's search-state pool; called by Freeze.
 func (g *Graph) initSearchPool() {
-	g.pool = &sync.Pool{New: func() any { return newSearchState(g) }}
+	g.pool = &sync.Pool{New: func() any {
+		met.poolNews.Inc()
+		return newSearchState(g)
+	}}
 }
 
 // unreachable is the canonical "no path" weight.

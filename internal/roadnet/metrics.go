@@ -1,0 +1,26 @@
+package roadnet
+
+import "ecocharge/internal/obs"
+
+// kernelMetrics are the package's instrumentation handles, resolved once at
+// init so the expansion hot path pays a single atomic op per update (0
+// allocs/op; priced end-to-end by BenchmarkObsOverhead). Metric names are
+// constants — the obsalloc ecolint check rejects fmt.Sprintf-built names in
+// this package.
+type kernelMetrics struct {
+	expansions   *obs.Counter // bounded network expansions started
+	poolAcquires *obs.Counter // search states checked out of the pool
+	poolNews     *obs.Counter // pool misses: fresh searchState allocations
+	poolReleases *obs.Counter // states returned to the pool
+}
+
+func newKernelMetrics(r *obs.Registry) *kernelMetrics {
+	return &kernelMetrics{
+		expansions:   r.Counter("roadnet_expansions_total"),
+		poolAcquires: r.Counter("roadnet_pool_acquires_total"),
+		poolNews:     r.Counter("roadnet_pool_news_total"),
+		poolReleases: r.Counter("roadnet_pool_releases_total"),
+	}
+}
+
+var met = newKernelMetrics(obs.Default())
