@@ -20,8 +20,11 @@ vet:
 	gofmt -l .
 
 # Repo-specific static analysis (see docs/lint.md). Nonzero exit on findings.
+# Two passes: the default build, then the race-tagged file set, so the
+# tag-gated sources are held to the same bar.
 lint:
 	$(GO) run ./cmd/ecolint ./...
+	$(GO) run ./cmd/ecolint -tags race ./...
 
 # Chaos suite under the race detector: deterministic fault injection at
 # 0%/10%/30% through every ranking method and the EIS client/server (see

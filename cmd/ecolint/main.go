@@ -13,6 +13,7 @@
 //	-enable  a,b,...  run only the named analyzers
 //	-disable a,b,...  run all but the named analyzers
 //	-list             print the available analyzers and exit
+//	-tags    a,b,...  build tags to apply when loading packages
 //	-C dir            run as if started in dir
 //
 // Exit status: 0 when the tree is clean, 1 when findings were reported,
@@ -42,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable = fs.String("disable", "", "comma-separated analyzers to skip")
 		list    = fs.Bool("list", false, "list available analyzers and exit")
+		tags    = fs.String("tags", "", "comma-separated build tags to apply when loading packages")
 		chdir   = fs.String("C", ".", "directory to run in")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,7 +67,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(*chdir, patterns)
+	var buildTags []string
+	for _, t := range strings.Split(*tags, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			buildTags = append(buildTags, t)
+		}
+	}
+	pkgs, err := lint.Load(*chdir, patterns, buildTags...)
 	if err != nil {
 		outln(stderr, "ecolint:", err)
 		return 2

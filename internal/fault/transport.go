@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -49,11 +50,11 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	d := t.Inj.DecideSeq(saltTransport, HashString(req.Method), HashString(req.URL.Path))
 	if d.Latency > 0 {
-		sleep := t.Sleep
-		if sleep == nil {
-			sleep = time.Sleep
+		if t.Sleep != nil {
+			t.Sleep(d.Latency)
+		} else if err := sleepCtx(req.Context(), d.Latency); err != nil {
+			return nil, err
 		}
-		sleep(d.Latency)
 	}
 	if d.Fail {
 		return nil, &TransportError{Endpoint: req.URL.Path}
@@ -63,6 +64,20 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		resp.Header.Set("X-Fault-Stale", strconv.FormatUint(t.Inj.Tick(), 10))
 	}
 	return resp, err
+}
+
+// sleepCtx waits for d or until the request's context is cancelled,
+// whichever comes first, so injected latency cannot outlive the caller's
+// deadline.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // saltTransport namespaces transport decisions away from source decisions

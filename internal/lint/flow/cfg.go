@@ -1,0 +1,659 @@
+// Package flow is the control-flow and dataflow substrate of ecolint's
+// path-sensitive analyzers (leakrelease, lockheld, ctxflow — see
+// docs/lint.md). It builds a per-function control-flow graph from the
+// standard library's go/ast alone, runs a generic worklist fixpoint over
+// it (solve.go), and summarizes small same-package helper functions so the
+// analyzers can reason across calls without a whole-program analysis
+// (summary.go).
+//
+// The graph deliberately mirrors the shape of golang.org/x/tools/go/cfg —
+// basic blocks holding simple statements and the conditions of the
+// branches that end them — but is built from scratch on the standard
+// library, like everything else in ecolint.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Term describes how a block transfers control to the synthetic Exit
+// block, for blocks that do.
+type Term uint8
+
+const (
+	// TermNone: the block does not edge to Exit.
+	TermNone Term = iota
+	// TermReturn: the block ends in an explicit return statement.
+	TermReturn
+	// TermPanic: the block ends in a call that never returns (panic,
+	// os.Exit, log.Fatal*).
+	TermPanic
+	// TermFallthrough: control falls off the end of the function body
+	// (implicit return of a function without results).
+	TermFallthrough
+)
+
+// Block is one basic block: a maximal run of straight-line code. Nodes
+// holds simple statements and the condition expressions of the branch
+// that ends the block, in execution order; nested statement bodies (the
+// arms of an if, the body of a loop) live in successor blocks, never
+// inside Nodes, so walking Nodes visits every expression exactly once.
+// Function literals are opaque: their bodies belong to their own graph
+// (see Inspect).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Term is how this block reaches Exit, when it does.
+	Term Term
+}
+
+// Loop records one for/range statement: its header block, the set of
+// blocks belonging to the loop (header, body, post), and the block
+// control reaches after a natural exit or break.
+type Loop struct {
+	// Stmt is the *ast.ForStmt or *ast.RangeStmt.
+	Stmt ast.Stmt
+	Head *Block
+	// Blocks is every block inside the loop, header included.
+	Blocks []*Block
+	After  *Block
+}
+
+// HasExit reports whether any edge leaves the loop's block set (a break,
+// return, goto out, a loop condition, or a range ending). A loop without
+// one spins forever.
+func (l *Loop) HasExit() bool {
+	in := make(map[*Block]bool, len(l.Blocks))
+	for _, b := range l.Blocks {
+		in[b] = true
+	}
+	for _, b := range l.Blocks {
+		if b.Term != TermNone {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !in[s] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is synthetic: every return, panic and fall-off-the-end edge
+	// leads here. It holds no nodes.
+	Exit *Block
+	// Defers lists every defer statement in the body, in registration
+	// order. Deferred calls run at every path out of the function,
+	// including panics.
+	Defers []*ast.DeferStmt
+	// Loops lists every for/range statement with its block membership.
+	Loops []*Loop
+	// NonBlocking marks send/receive statements that cannot block: the
+	// communication clauses of a select that has a default clause.
+	NonBlocking map[ast.Node]bool
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{NonBlocking: make(map[ast.Node]bool)}
+	b := &builder{g: g, labels: make(map[string]*labelInfo)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.patchGotos()
+	// Fall-off-the-end: the final block implicitly returns, but only when
+	// control can actually reach it (the tail after an infinite loop or an
+	// empty select is dead code, not an exit path).
+	if b.cur != nil && b.cur.Term == TermNone && !b.terminated &&
+		(b.cur == g.Entry || reachableFromEntry(g, b.cur)) {
+		b.cur.Term = TermFallthrough
+		b.edge(b.cur, g.Exit)
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return g
+}
+
+// FuncGraph builds the graph of a *ast.FuncDecl or *ast.FuncLit. It
+// returns nil for declarations without a body.
+func FuncGraph(fn ast.Node) *Graph {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		if fn.Body == nil {
+			return nil
+		}
+		return New(fn.Body)
+	case *ast.FuncLit:
+		return New(fn.Body)
+	}
+	return nil
+}
+
+// labelInfo resolves the three uses of a label: break target, continue
+// target and goto target.
+type labelInfo struct {
+	breakTo    *Block
+	continueTo *Block
+	gotoBlock  *Block
+}
+
+// frame is one enclosing breakable construct (loop, switch, select).
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+	loop       *Loop  // non-nil for loops, collects member blocks
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []*frame
+	labels map[string]*labelInfo
+	// pending gotos to labels not yet seen.
+	gotos []pendingGoto
+	// terminated is set when the current block ended in a jump, so the
+	// fall-off-the-end edge is not added twice.
+	terminated bool
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	for _, f := range b.frames {
+		if f.loop != nil {
+			f.loop.Blocks = append(f.loop.Blocks, blk)
+		}
+	}
+	return blk
+}
+
+// reachableFromEntry reports whether blk is reachable from the entry
+// block along successor edges (Preds are not wired yet when this runs).
+func reachableFromEntry(g *Graph, blk *Block) bool {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == blk {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// start opens a fresh current block with an edge from the old one.
+func (b *builder) start(blk *Block) {
+	if b.cur != nil && b.cur.Term == TermNone && !b.terminated {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+	b.terminated = false
+}
+
+// jump ends the current block with an edge to target; following code is
+// unreachable until a new block starts.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil && !b.terminated {
+		b.edge(b.cur, target)
+	}
+	b.terminated = true
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	if b.terminated {
+		// Unreachable code still gets blocks so positions stay addressable.
+		b.cur = b.newBlock()
+		b.terminated = false
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.Term = TermReturn
+		b.jump(b.g.Exit)
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if neverReturns(s.X) {
+			b.cur.Term = TermPanic
+			b.jump(b.g.Exit)
+		}
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements and
+		// empty statements are simple nodes.
+		b.add(s)
+	}
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	// The labeled statement starts a fresh block so gotos have a target.
+	blk := b.newBlock()
+	b.start(blk)
+	li.gotoBlock = blk
+	b.stmt(s.Stmt, name)
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur, b.terminated = then, false
+	b.stmtList(s.Body.List)
+	b.jump(after)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur, b.terminated = els, false
+		b.stmt(s.Else, "")
+		b.jump(after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur, b.terminated = after, false
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	loop := &Loop{Stmt: s}
+	b.g.Loops = append(b.g.Loops, loop)
+	// The after-block is allocated before the loop's frame is pushed, so
+	// it joins enclosing loops but not this one.
+	after := b.newBlock()
+	loop.After = after
+
+	f := &frame{label: label, breakTo: after, loop: loop}
+	b.frames = append(b.frames, f)
+
+	head := b.newBlock()
+	loop.Head = head
+	b.start(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.edge(head, after)
+	}
+
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		f.continueTo = post
+	} else {
+		f.continueTo = head
+	}
+	if label != "" {
+		b.labels[label].breakTo = after
+		b.labels[label].continueTo = f.continueTo
+	}
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur, b.terminated = body, false
+	b.stmtList(s.Body.List)
+	if post != nil {
+		b.jump(post)
+	} else {
+		b.jump(head)
+	}
+
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur, b.terminated = after, false
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	loop := &Loop{Stmt: s}
+	b.g.Loops = append(b.g.Loops, loop)
+	after := b.newBlock()
+	loop.After = after
+
+	f := &frame{label: label, breakTo: after, loop: loop}
+	b.frames = append(b.frames, f)
+
+	head := b.newBlock()
+	loop.Head = head
+	b.start(head)
+	// Only the ranged expression and the key/value targets are header
+	// nodes; appending the RangeStmt itself would duplicate the body
+	// statements, which live in the body blocks.
+	head.Nodes = append(head.Nodes, s.X)
+	if s.Key != nil {
+		head.Nodes = append(head.Nodes, s.Key)
+	}
+	if s.Value != nil {
+		head.Nodes = append(head.Nodes, s.Value)
+	}
+	b.edge(head, after) // every range can end
+	f.continueTo = head
+	if label != "" {
+		b.labels[label].breakTo = after
+		b.labels[label].continueTo = head
+	}
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur, b.terminated = body, false
+	b.stmtList(s.Body.List)
+	b.jump(head)
+
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur, b.terminated = after, false
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body, label, func(cc *ast.CaseClause) []ast.Node {
+		nodes := make([]ast.Node, 0, len(cc.List))
+		for _, e := range cc.List {
+			nodes = append(nodes, e)
+		}
+		return nodes
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(s.Body, label, func(cc *ast.CaseClause) []ast.Node { return nil })
+}
+
+// caseClauses builds the clause blocks shared by value and type switches.
+// headNodes extracts the per-clause guard nodes (the case expressions).
+func (b *builder) caseClauses(body *ast.BlockStmt, label string, headNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.cur
+	after := b.newBlock()
+	f := &frame{label: label, breakTo: after}
+	b.frames = append(b.frames, f)
+	if label != "" {
+		b.labels[label].breakTo = after
+	}
+
+	var clauseBlocks []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		blk.Nodes = append(blk.Nodes, headNodes(cc)...)
+		b.edge(head, blk)
+		clauseBlocks = append(clauseBlocks, blk)
+		clauses = append(clauses, cc)
+	}
+	for i, cc := range clauses {
+		b.cur, b.terminated = clauseBlocks[i], false
+		ft := b.buildClauseBody(cc.Body)
+		if ft && i+1 < len(clauseBlocks) {
+			// fallthrough: the next clause body runs unconditionally.
+			b.jump(clauseBlocks[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	if !hasDefault || len(clauseBlocks) == 0 {
+		b.edge(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur, b.terminated = after, false
+}
+
+// buildClauseBody builds a case clause body, reporting whether it ends in
+// a fallthrough statement.
+func (b *builder) buildClauseBody(list []ast.Stmt) bool {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			return true
+		}
+		b.stmt(s, "")
+	}
+	return false
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	after := b.newBlock()
+	f := &frame{label: label, breakTo: after}
+	b.frames = append(b.frames, f)
+	if label != "" {
+		b.labels[label].breakTo = after
+	}
+
+	hasDefault := false
+	for _, cs := range s.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	anyClause := false
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		anyClause = true
+		blk := b.newBlock()
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+			if hasDefault {
+				b.g.NonBlocking[cc.Comm] = true
+			}
+		}
+		b.edge(head, blk)
+		b.cur, b.terminated = blk, false
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	if !anyClause {
+		// select{} blocks forever: no successors at all.
+		b.terminated = true
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur, b.terminated = after, false
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		b.add(s)
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.breakTo != nil {
+				b.jump(li.breakTo)
+				return
+			}
+		}
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].breakTo != nil {
+				b.jump(b.frames[i].breakTo)
+				return
+			}
+		}
+		b.terminated = true
+	case token.CONTINUE:
+		b.add(s)
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.continueTo != nil {
+				b.jump(li.continueTo)
+				return
+			}
+		}
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].continueTo != nil {
+				b.jump(b.frames[i].continueTo)
+				return
+			}
+		}
+		b.terminated = true
+	case token.GOTO:
+		b.add(s)
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.gotoBlock != nil {
+				b.jump(li.gotoBlock)
+				return
+			}
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+		}
+		b.terminated = true
+	case token.FALLTHROUGH:
+		// Handled by buildClauseBody; a stray fallthrough is a compile
+		// error, ignore.
+		b.add(s)
+	}
+}
+
+func (b *builder) patchGotos() {
+	for _, pg := range b.gotos {
+		if li := b.labels[pg.label]; li != nil && li.gotoBlock != nil {
+			b.edge(pg.from, li.gotoBlock)
+		}
+	}
+}
+
+// neverReturns reports (syntactically) whether the expression is a call
+// that never returns control: panic, os.Exit, log.Fatal and friends.
+func neverReturns(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fn.Sel.Name == "Exit"
+		case "log":
+			switch fn.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		case "runtime":
+			return fn.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}
+
+// Inspect walks n in depth-first order like ast.Inspect but does not
+// descend into function literal bodies: a literal's statements belong to
+// its own control-flow graph, not the enclosing one.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			f(n)
+			return false
+		}
+		return f(n)
+	})
+}
+
+// Functions yields every function-like in the file — declarations with
+// bodies and function literals, literals nested anywhere — so analyzers
+// can treat each as an independent unit.
+func Functions(file *ast.File, visit func(name string, fn ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n.Name.Name, n, n.Body)
+			}
+		case *ast.FuncLit:
+			visit("func literal", n, n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,414 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body from source and returns its graph.
+func parseBody(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	fd := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// checkInvariants verifies structural properties every graph must hold.
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	// Succs/Preds are mirror images.
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("block %d -> %d not mirrored in Preds", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			found := false
+			for _, s := range p.Succs {
+				if s == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("block %d <- %d not mirrored in Succs", b.Index, p.Index)
+			}
+		}
+	}
+	// Exit holds no nodes and has no successors.
+	if len(g.Exit.Nodes) != 0 || len(g.Exit.Succs) != 0 {
+		t.Errorf("exit block has nodes (%d) or successors (%d)", len(g.Exit.Nodes), len(g.Exit.Succs))
+	}
+	// A terminating block edges to Exit.
+	for _, b := range g.Blocks {
+		if b.Term == TermNone {
+			continue
+		}
+		found := false
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("block %d has Term=%d but no edge to Exit", b.Index, b.Term)
+		}
+	}
+}
+
+// reachable reports whether to is reachable from from along Succs edges.
+func reachable(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func countTerm(g *Graph, term Term) int {
+	n := 0
+	for _, b := range g.Blocks {
+		if b.Term == term {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCFGConstruction(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+
+		returns     int // blocks with TermReturn
+		panics      int // blocks with TermPanic
+		fallOff     int // blocks with TermFallthrough
+		loops       int
+		loopExits   []bool // per-loop HasExit, in source order
+		defers      int
+		nonBlocking int
+		exitLive    bool // Exit reachable from Entry
+	}{
+		{
+			name:     "straight line",
+			body:     "x := 1\n_ = x\nreturn",
+			returns:  1,
+			exitLive: true,
+		},
+		{
+			name:     "fall off end",
+			body:     "x := 1\n_ = x",
+			fallOff:  1,
+			exitLive: true,
+		},
+		{
+			name:     "if else both return",
+			body:     "if c() {\nreturn\n}\nreturn",
+			returns:  2,
+			exitLive: true,
+		},
+		{
+			name:     "if without else",
+			body:     "if c() {\nwork()\n}\nwork()",
+			fallOff:  1,
+			exitLive: true,
+		},
+		{
+			name:      "for with condition",
+			body:      "for i := 0; i < 10; i++ {\nwork()\n}",
+			loops:     1,
+			loopExits: []bool{true},
+			fallOff:   1,
+			exitLive:  true,
+		},
+		{
+			name:      "infinite for",
+			body:      "for {\nwork()\n}",
+			loops:     1,
+			loopExits: []bool{false},
+			exitLive:  false,
+		},
+		{
+			name:      "infinite for with break",
+			body:      "for {\nif c() {\nbreak\n}\n}",
+			loops:     1,
+			loopExits: []bool{true},
+			fallOff:   1,
+			exitLive:  true,
+		},
+		{
+			name:      "infinite for with return",
+			body:      "for {\nif c() {\nreturn\n}\n}",
+			loops:     1,
+			loopExits: []bool{true},
+			returns:   1,
+			exitLive:  true,
+		},
+		{
+			name:      "range always exits",
+			body:      "for _, v := range xs() {\n_ = v\n}",
+			loops:     1,
+			loopExits: []bool{true},
+			fallOff:   1,
+			exitLive:  true,
+		},
+		{
+			name:     "switch with default and fallthrough",
+			body:     "switch v() {\ncase 1:\nwork()\nfallthrough\ncase 2:\nwork()\ndefault:\nreturn\n}",
+			returns:  1,
+			fallOff:  1,
+			exitLive: true,
+		},
+		{
+			name:     "type switch",
+			body:     "switch x().(type) {\ncase int:\nwork()\ncase string:\nreturn\n}",
+			returns:  1,
+			fallOff:  1,
+			exitLive: true,
+		},
+		{
+			name:        "select with default is non-blocking",
+			body:        "select {\ncase <-ch():\nwork()\ncase ch() <- 1:\nwork()\ndefault:\n}",
+			nonBlocking: 2,
+			fallOff:     1,
+			exitLive:    true,
+		},
+		{
+			name:        "select without default blocks",
+			body:        "select {\ncase <-ch():\nwork()\n}",
+			nonBlocking: 0,
+			fallOff:     1,
+			exitLive:    true,
+		},
+		{
+			name:     "empty select never proceeds",
+			body:     "select {}\nwork()",
+			exitLive: false,
+		},
+		{
+			name:     "defer and panic",
+			body:     "defer work()\npanic(\"boom\")",
+			panics:   1,
+			defers:   1,
+			exitLive: true,
+		},
+		{
+			name:     "os.Exit terminates",
+			body:     "work()\nos.Exit(1)",
+			panics:   1,
+			exitLive: true,
+		},
+		{
+			name:      "labeled break leaves both loops",
+			body:      "outer:\nfor {\nfor {\nif c() {\nbreak outer\n}\n}\n}",
+			loops:     2,
+			loopExits: []bool{true, true},
+			fallOff:   1,
+			exitLive:  true,
+		},
+		{
+			name:      "unlabeled break leaves inner loop only",
+			body:      "for {\nfor {\nif c() {\nbreak\n}\n}\n}",
+			loops:     2,
+			loopExits: []bool{false, true},
+			exitLive:  false,
+		},
+		{
+			name:      "labeled continue",
+			body:      "outer:\nfor i := 0; i < 3; i++ {\nfor {\ncontinue outer\n}\n}",
+			loops:     2,
+			loopExits: []bool{true, true},
+			fallOff:   1,
+			exitLive:  true,
+		},
+		{
+			name:     "goto backward",
+			body:     "top:\nwork()\nif c() {\ngoto top\n}\nreturn",
+			returns:  1,
+			exitLive: true,
+		},
+		{
+			name:     "goto forward",
+			body:     "if c() {\ngoto done\n}\nwork()\ndone:\nreturn",
+			returns:  1,
+			exitLive: true,
+		},
+		{
+			name:     "unreachable code after return",
+			body:     "return\nwork()",
+			returns:  1,
+			fallOff:  0, // the unreachable tail is dead code, not an exit path
+			exitLive: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseBody(t, tc.body)
+			checkInvariants(t, g)
+			if got := countTerm(g, TermReturn); got != tc.returns {
+				t.Errorf("TermReturn blocks = %d, want %d", got, tc.returns)
+			}
+			if got := countTerm(g, TermPanic); got != tc.panics {
+				t.Errorf("TermPanic blocks = %d, want %d", got, tc.panics)
+			}
+			if got := countTerm(g, TermFallthrough); got != tc.fallOff {
+				t.Errorf("TermFallthrough blocks = %d, want %d", got, tc.fallOff)
+			}
+			if got := len(g.Loops); got != tc.loops {
+				t.Errorf("loops = %d, want %d", got, tc.loops)
+			}
+			if tc.loopExits != nil {
+				for i, want := range tc.loopExits {
+					if i >= len(g.Loops) {
+						break
+					}
+					if got := g.Loops[i].HasExit(); got != want {
+						t.Errorf("loop %d HasExit = %v, want %v", i, got, want)
+					}
+				}
+			}
+			if got := len(g.Defers); got != tc.defers {
+				t.Errorf("defers = %d, want %d", got, tc.defers)
+			}
+			if got := len(g.NonBlocking); got != tc.nonBlocking {
+				t.Errorf("non-blocking comm ops = %d, want %d", got, tc.nonBlocking)
+			}
+			if got := reachable(g.Entry, g.Exit); got != tc.exitLive {
+				t.Errorf("exit reachable = %v, want %v", got, tc.exitLive)
+			}
+		})
+	}
+}
+
+// TestCFGNodesVisitedOnce checks the core Block.Nodes contract: walking
+// every block's nodes visits each simple statement exactly once, with
+// nested bodies excluded (they live in their own blocks).
+func TestCFGNodesVisitedOnce(t *testing.T) {
+	g := parseBody(t, `
+x := 0
+if x > 1 {
+	x = 2
+} else {
+	x = 3
+}
+for i := 0; i < 4; i++ {
+	x += i
+}
+switch x {
+case 5:
+	x = 6
+}
+_ = x
+return`)
+	checkInvariants(t, g)
+
+	// Collect assignment statements across all blocks; each must appear once.
+	seen := map[string]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				key := fmt.Sprintf("%d", as.Pos())
+				seen[key]++
+			}
+		}
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("assignment at pos %s appears %d times in block nodes", key, n)
+		}
+	}
+	// x:=0, x=2, x=3, i:=0 (for init lives in the pre-header block), x+=i,
+	// x=6, _=x — seven distinct assignments.
+	if len(seen) != 7 {
+		t.Errorf("distinct assignments = %d, want 7", len(seen))
+	}
+}
+
+// TestFuncGraph covers the decl/literal entry points.
+func TestFuncGraph(t *testing.T) {
+	src := `package p
+
+func decl() { return }
+
+func noBody()
+
+var lit = func() { x := 1; _ = x }
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphs int
+	Functions(file, func(name string, fn ast.Node, body *ast.BlockStmt) {
+		g := FuncGraph(fn)
+		if g == nil {
+			t.Errorf("FuncGraph(%s) = nil", name)
+			return
+		}
+		checkInvariants(t, g)
+		graphs++
+	})
+	if graphs != 2 {
+		t.Errorf("functions visited = %d, want 2 (decl with body + literal)", graphs)
+	}
+}
+
+// TestInspectSkipsFuncLit checks that Inspect yields the literal node but
+// not its body.
+func TestInspectSkipsFuncLit(t *testing.T) {
+	g := parseBody(t, "go func() {\ninner()\n}()\nouter()")
+	var sawLit, sawInner, sawOuter bool
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					sawLit = true
+				case *ast.Ident:
+					if n.Name == "inner" {
+						sawInner = true
+					}
+					if n.Name == "outer" {
+						sawOuter = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !sawLit || !sawOuter {
+		t.Errorf("sawLit=%v sawOuter=%v, want both true", sawLit, sawOuter)
+	}
+	if sawInner {
+		t.Error("Inspect descended into the function literal body")
+	}
+}

@@ -1,0 +1,121 @@
+package flow
+
+// solve.go is the generic worklist dataflow solver. Analyzers describe
+// their lattice (a fact type, join, equality) and a transfer function over
+// blocks; Solve iterates to the fixpoint. Facts are arbitrary values —
+// gen/kill bitsets, maps of abstract resources, whatever the analyzer
+// needs — the solver only ever copies them through the callbacks, so
+// transfer functions must not mutate their input in place unless Clone
+// returns a deep copy.
+
+// Dir selects the propagation direction.
+type Dir uint8
+
+const (
+	// Forward propagates facts from Entry along successor edges.
+	Forward Dir = iota
+	// Backward propagates facts from Exit along predecessor edges.
+	Backward
+)
+
+// Problem describes one dataflow analysis over a Graph.
+type Problem[F any] struct {
+	Dir Dir
+	// Boundary is the fact at the boundary block: Entry for forward
+	// problems, Exit for backward ones.
+	Boundary func() F
+	// Init is the initial (bottom) fact of every other block.
+	Init func() F
+	// Transfer computes the block's output fact from its input fact. It
+	// must not mutate in; Clone is applied before every call.
+	Transfer func(b *Block, in F) F
+	// Join merges src into dst and returns the result. It may mutate and
+	// return dst.
+	Join func(dst, src F) F
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b F) bool
+	// Clone deep-copies a fact. Required; the solver clones before every
+	// Transfer and Join so analyzer callbacks can mutate freely.
+	Clone func(F) F
+}
+
+// Result carries the fixpoint: the input and output fact of every block.
+// For forward problems In[b] is the join over predecessors' Out; for
+// backward problems In[b] is the join over successors' Out (facts flow
+// against the edges).
+type Result[F any] struct {
+	In, Out map[*Block]F
+}
+
+// Solve runs the worklist fixpoint and returns the per-block facts.
+func Solve[F any](g *Graph, p Problem[F]) Result[F] {
+	res := Result[F]{
+		In:  make(map[*Block]F, len(g.Blocks)),
+		Out: make(map[*Block]F, len(g.Blocks)),
+	}
+	boundary := g.Entry
+	if p.Dir == Backward {
+		boundary = g.Exit
+	}
+	sources := func(b *Block) []*Block {
+		if p.Dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	dests := func(b *Block) []*Block {
+		if p.Dir == Forward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+
+	for _, b := range g.Blocks {
+		if b == boundary {
+			res.In[b] = p.Boundary()
+		} else {
+			res.In[b] = p.Init()
+		}
+		res.Out[b] = p.Transfer(b, p.Clone(res.In[b]))
+	}
+
+	// Worklist seeded in block order; order only affects iteration count,
+	// not the fixpoint.
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make(map[*Block]bool, len(g.Blocks))
+	for _, b := range work {
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		in := res.In[b]
+		if b != boundary {
+			srcs := sources(b)
+			if len(srcs) > 0 {
+				in = p.Clone(res.Out[srcs[0]])
+				for _, s := range srcs[1:] {
+					in = p.Join(in, p.Clone(res.Out[s]))
+				}
+			} else {
+				in = p.Init()
+			}
+			res.In[b] = in
+		}
+		out := p.Transfer(b, p.Clone(in))
+		if p.Equal(out, res.Out[b]) {
+			continue
+		}
+		res.Out[b] = out
+		for _, d := range dests(b) {
+			if !queued[d] {
+				queued[d] = true
+				work = append(work, d)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,236 @@
+package flow
+
+import (
+	"go/ast"
+	"sort"
+	"testing"
+)
+
+// The solver tests run classic textbook problems over string-set facts so
+// the engine is exercised independently of any analyzer.
+
+type strset map[string]bool
+
+func (s strset) sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalSet(a, b strset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneSet(s strset) strset {
+	out := make(strset, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func union(dst, src strset) strset {
+	for k := range src {
+		dst[k] = true
+	}
+	return dst
+}
+
+func intersect(dst, src strset) strset {
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+		}
+	}
+	return dst
+}
+
+// assignedNames returns the variables directly assigned by the node.
+func assignedNames(n ast.Node) []string {
+	var out []string
+	Inspect(n, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					out = append(out, id.Name)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// assignTransfer adds every assigned variable to the fact set.
+func assignTransfer(b *Block, in strset) strset {
+	for _, n := range b.Nodes {
+		for _, name := range assignedNames(n) {
+			in[name] = true
+		}
+	}
+	return in
+}
+
+func join(s strset) []string { return s.sorted() }
+
+func TestSolveForwardMay(t *testing.T) {
+	// May-assigned: union join. Both branch variables reach the exit.
+	g := parseBody(t, `
+z := 0
+if c() {
+	x := 1
+	_ = x
+} else {
+	y := 2
+	_ = y
+}
+_ = z
+return`)
+	res := Solve(g, Problem[strset]{
+		Dir:      Forward,
+		Boundary: func() strset { return strset{} },
+		Init:     func() strset { return strset{} },
+		Transfer: assignTransfer,
+		Join:     union,
+		Equal:    equalSet,
+		Clone:    cloneSet,
+	})
+	got := join(res.In[g.Exit])
+	want := []string{"x", "y", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("may-assigned at exit = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("may-assigned at exit = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSolveForwardMust(t *testing.T) {
+	// Must-assigned: intersection join. Only z is assigned on every path.
+	// Init must be "top" for intersection; model top with a universe set.
+	universe := strset{"x": true, "y": true, "z": true}
+	g := parseBody(t, `
+z := 0
+if c() {
+	x := 1
+	_ = x
+} else {
+	y := 2
+	_ = y
+}
+_ = z
+return`)
+	res := Solve(g, Problem[strset]{
+		Dir:      Forward,
+		Boundary: func() strset { return strset{} },
+		Init:     func() strset { return cloneSet(universe) },
+		Transfer: assignTransfer,
+		Join:     intersect,
+		Equal:    equalSet,
+		Clone:    cloneSet,
+	})
+	got := join(res.In[g.Exit])
+	if len(got) != 1 || got[0] != "z" {
+		t.Fatalf("must-assigned at exit = %v, want [z]", got)
+	}
+}
+
+func TestSolveLoopFixpoint(t *testing.T) {
+	// The loop-body assignment must propagate around the back edge into
+	// the loop head's IN set, which requires a second worklist pass.
+	g := parseBody(t, `
+for c() {
+	w := 1
+	_ = w
+}
+return`)
+	res := Solve(g, Problem[strset]{
+		Dir:      Forward,
+		Boundary: func() strset { return strset{} },
+		Init:     func() strset { return strset{} },
+		Transfer: assignTransfer,
+		Join:     union,
+		Equal:    equalSet,
+		Clone:    cloneSet,
+	})
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(g.Loops))
+	}
+	head := g.Loops[0].Head
+	if !res.In[head]["w"] {
+		t.Errorf("loop head IN = %v, want it to contain w (back-edge propagation)", join(res.In[head]))
+	}
+	if !res.In[g.Exit]["w"] {
+		t.Errorf("exit IN = %v, want it to contain w", join(res.In[g.Exit]))
+	}
+}
+
+func TestSolveBackwardLiveness(t *testing.T) {
+	// Live variables: backward, gen = used idents, kill = defined names.
+	g := parseBody(t, `
+a := input()
+b := input()
+if c() {
+	use(a)
+} else {
+	use(b)
+}
+return`)
+	uses := func(n ast.Node) strset {
+		out := strset{}
+		Inspect(n, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				for _, arg := range call.Args {
+					if id, ok := arg.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+	res := Solve(g, Problem[strset]{
+		Dir:      Backward,
+		Boundary: func() strset { return strset{} },
+		Init:     func() strset { return strset{} },
+		Transfer: func(b *Block, in strset) strset {
+			// Backward transfer runs the block's nodes in reverse.
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				n := b.Nodes[i]
+				for _, name := range assignedNames(n) {
+					delete(in, name)
+				}
+				in = union(in, uses(n))
+			}
+			return in
+		},
+		Join:  union,
+		Equal: equalSet,
+		Clone: cloneSet,
+	})
+	// Nothing is live at entry: both a and b are defined before use.
+	if live := join(res.Out[g.Entry]); len(live) != 0 {
+		t.Errorf("live at entry = %v, want none", live)
+	}
+	// The entry block ends with the branch condition, so its (backward) IN
+	// is the liveness after the assignments: both a and b are live, each
+	// used on one branch.
+	condBlock := g.Entry
+	if !res.In[condBlock]["a"] || !res.In[condBlock]["b"] {
+		t.Errorf("live before branch = %v, want a and b", join(res.In[condBlock]))
+	}
+}

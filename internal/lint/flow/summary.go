@@ -1,0 +1,426 @@
+package flow
+
+// summary.go computes intraprocedural summaries of a package's own
+// functions, so the flow analyzers can reason across calls to small
+// same-package helpers (acquire-returning constructors, release
+// forwarders, unlock helpers) without a whole-program analysis. Calls
+// into other packages stay opaque: the analyzers treat them
+// conservatively (an argument passed to an unknown callee is assumed
+// captured, so no finding is reported about it — false negatives over
+// false positives).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Receiver is the parameter index of a method's receiver in a
+// FuncSummary.
+const Receiver = -1
+
+// FuncSummary describes the flow-relevant behavior of one function:
+// which of its parameters it releases, captures, locks or unlocks.
+// Parameter indices are 0-based; a method receiver is index Receiver.
+type FuncSummary struct {
+	Decl *ast.FuncDecl
+	// Releases[i]: the body calls a niladic Release/release method on
+	// parameter i (or on a field of it), so calling this function hands
+	// the argument's cleanup over.
+	Releases map[int]bool
+	// Captures[i]: the body stores, returns or forwards parameter i
+	// somewhere the caller cannot track (field, global, closure, unknown
+	// callee), so the caller must stop tracking the argument.
+	Captures map[int]bool
+	// Locks[i] and Unlocks[i] are selector paths relative to parameter i
+	// (e.g. ".mu") whose sync.Mutex/RWMutex the body locks or unlocks.
+	Locks, Unlocks map[int][]string
+}
+
+func newFuncSummary(decl *ast.FuncDecl) *FuncSummary {
+	return &FuncSummary{
+		Decl:     decl,
+		Releases: make(map[int]bool),
+		Captures: make(map[int]bool),
+		Locks:    make(map[int][]string),
+		Unlocks:  make(map[int][]string),
+	}
+}
+
+func appendPath(m map[int][]string, idx int, path string) bool {
+	for _, p := range m[idx] {
+		if p == path {
+			return false
+		}
+	}
+	m[idx] = append(m[idx], path)
+	return true
+}
+
+// Summaries indexes the package's function summaries by their
+// types.Object.
+type Summaries struct {
+	funcs map[types.Object]*FuncSummary
+	info  *types.Info
+	pkg   *types.Package
+}
+
+// Of returns the summary for the function object, or nil for functions
+// of other packages (or non-functions).
+func (s *Summaries) Of(obj types.Object) *FuncSummary {
+	if s == nil || obj == nil {
+		return nil
+	}
+	return s.funcs[obj]
+}
+
+// CalleeObject resolves the called function or method of a call
+// expression, or nil (function values, conversions, builtins).
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fn].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// Summarize computes the package's function summaries to a fixpoint, so
+// capture/release facts propagate through chains of same-package calls.
+func Summarize(files []*ast.File, info *types.Info, pkg *types.Package) *Summaries {
+	s := &Summaries{
+		funcs: make(map[types.Object]*FuncSummary),
+		info:  info,
+		pkg:   pkg,
+	}
+	var decls []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			s.funcs[obj] = newFuncSummary(fd)
+			decls = append(decls, fd)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if s.summarizeFunc(fd) {
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// paramIndexes maps the function's receiver and parameter objects to
+// their summary indices.
+func paramIndexes(info *types.Info, fd *ast.FuncDecl) map[types.Object]int {
+	idx := make(map[types.Object]int)
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					idx[obj] = Receiver
+				}
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		i := 0
+		for _, f := range fd.Type.Params.List {
+			if len(f.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					idx[obj] = i
+				}
+				i++
+			}
+		}
+	}
+	return idx
+}
+
+// summarizeFunc re-derives one function's summary, reporting whether any
+// fact was added (fixpoint detection).
+func (s *Summaries) summarizeFunc(fd *ast.FuncDecl) bool {
+	sum := s.funcs[s.info.Defs[fd.Name]]
+	params := paramIndexes(s.info, fd)
+	changed := false
+	set := func(m map[int]bool, idx int) {
+		if !m[idx] {
+			m[idx] = true
+			changed = true
+		}
+	}
+
+	// Walk with an explicit parent stack so each parameter occurrence can
+	// be classified by its syntactic context.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if idx, ok := params[s.info.Uses[id]]; ok {
+				use := ClassifyUse(stack, id)
+				switch use.Kind {
+				case UseMethodCall:
+					name := use.Sel.Sel.Name
+					switch {
+					case isReleaseName(name) && len(use.Call.Args) == 0:
+						set(sum.Releases, idx)
+					case (name == "Lock" || name == "RLock") && s.isMutexPath(use.Sel.X):
+						if appendPath(sum.Locks, idx, use.Path) {
+							changed = true
+						}
+					case (name == "Unlock" || name == "RUnlock") && s.isMutexPath(use.Sel.X):
+						if appendPath(sum.Unlocks, idx, use.Path) {
+							changed = true
+						}
+					case use.Path == "":
+						// Direct method on the parameter itself: propagate
+						// the method's receiver facts when it is ours.
+						if m := s.Of(s.info.Uses[use.Sel.Sel]); m != nil {
+							if m.Releases[Receiver] {
+								set(sum.Releases, idx)
+							}
+							if m.Captures[Receiver] {
+								set(sum.Captures, idx)
+							}
+							for _, p := range m.Locks[Receiver] {
+								if appendPath(sum.Locks, idx, p) {
+									changed = true
+								}
+							}
+							for _, p := range m.Unlocks[Receiver] {
+								if appendPath(sum.Unlocks, idx, p) {
+									changed = true
+								}
+							}
+						}
+					}
+				case UseBareArg:
+					obj := CalleeObject(s.info, use.Call)
+					if g := s.Of(obj); g != nil {
+						if g.Releases[use.Arg] {
+							set(sum.Releases, idx)
+						}
+						if g.Captures[use.Arg] {
+							set(sum.Captures, idx)
+						}
+						for _, p := range g.Locks[use.Arg] {
+							if appendPath(sum.Locks, idx, p) {
+								changed = true
+							}
+						}
+						for _, p := range g.Unlocks[use.Arg] {
+							if appendPath(sum.Unlocks, idx, p) {
+								changed = true
+							}
+						}
+					} else {
+						// Unknown or cross-package callee: assume captured.
+						set(sum.Captures, idx)
+					}
+				case UseFieldRead:
+					// Reading a field (or passing a field copy) does not
+					// capture the parameter itself — unless the read hands a
+					// releasable sub-resource back to the caller.
+					if use.InReturn && use.Expr != nil {
+						if _, rel := ReleasableType(s.info.TypeOf(use.Expr)); rel {
+							set(sum.Captures, idx)
+						}
+					}
+				case UseCapture:
+					set(sum.Captures, idx)
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return changed
+}
+
+// UseKind classifies one syntactic occurrence of a parameter.
+type UseKind uint8
+
+const (
+	UseCapture UseKind = iota
+	UseMethodCall
+	UseBareArg
+	UseFieldRead
+)
+
+// Use is the classification of one parameter occurrence: the use
+// kind plus, per kind, the selector path from the parameter to the
+// method receiver and the enclosing call/argument slot.
+type Use struct {
+	Kind UseKind
+	Path string
+	Sel  *ast.SelectorExpr // the method selector (UseMethodCall)
+	Call *ast.CallExpr     // the enclosing call (UseMethodCall, UseBareArg)
+	Arg  int               // the argument index (UseBareArg)
+	Expr ast.Expr          // the climbed selector expression (UseFieldRead)
+	// inReturn marks a field read inside a return statement; the caller
+	// treats it as a capture when the field's type is itself releasable.
+	InReturn bool
+}
+
+// ClassifyUse inspects the parent chain of a parameter identifier.
+func ClassifyUse(stack []ast.Node, id *ast.Ident) Use {
+	// Climb selector chains rooted at the identifier.
+	cur := ast.Node(id)
+	path := ""
+	i := len(stack) - 1
+	for i >= 0 {
+		sel, ok := stack[i].(*ast.SelectorExpr)
+		if !ok || sel.X != cur {
+			break
+		}
+		// sel.Sel might be the method being called; peek at the parent.
+		if i > 0 {
+			if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == sel {
+				return Use{Kind: UseMethodCall, Path: path, Sel: sel, Call: call}
+			}
+		}
+		path += "." + sel.Sel.Name
+		cur = sel
+		i--
+	}
+	parent := ast.Node(nil)
+	if i >= 0 {
+		parent = stack[i]
+	}
+	if cur != ast.Node(id) {
+		// The use is a field read d.f... — safe unless it happens inside a
+		// function literal (the closure extends the parameter's lifetime)
+		// or the field is itself returned (the caller decides whether the
+		// returned value hands out part of the resource, by its type).
+		for j := i; j >= 0; j-- {
+			switch stack[j].(type) {
+			case *ast.FuncLit:
+				return Use{Kind: UseCapture}
+			case *ast.ReturnStmt:
+				return Use{Kind: UseFieldRead, Path: path, Expr: cur.(ast.Expr), InReturn: true}
+			}
+		}
+		return Use{Kind: UseFieldRead, Path: path, Expr: cur.(ast.Expr)}
+	}
+	// Bare identifier: a call argument gets summary propagation, anything
+	// else (return, assignment, composite literal, closure, send, ...)
+	// is a capture. Pure-read statement contexts that cannot smuggle the
+	// value keep it safe.
+	if call, ok := parent.(*ast.CallExpr); ok {
+		for ai, a := range call.Args {
+			if a == cur {
+				return Use{Kind: UseBareArg, Call: call, Arg: ai}
+			}
+		}
+	}
+	switch parent.(type) {
+	case *ast.ExprStmt, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.BlockStmt:
+		return Use{Kind: UseFieldRead}
+	}
+	return Use{Kind: UseCapture}
+}
+
+func isReleaseName(name string) bool { return name == "Release" || name == "release" }
+
+// isMutexPath reports whether the receiver expression is (a pointer to)
+// sync.Mutex or sync.RWMutex.
+func (s *Summaries) isMutexPath(x ast.Expr) bool {
+	return IsMutex(s.info.TypeOf(x))
+}
+
+// IsMutex reports whether t (or the type t points to) is sync.Mutex or
+// sync.RWMutex.
+func IsMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// ReleasableType reports whether t is (a pointer to) a named type with a
+// niladic Release or release method — the ownership contract the
+// leakrelease analyzer enforces. It returns the type's name.
+func ReleasableType(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if !isReleaseName(m.Name()) {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if ok && sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+			return named.Obj().Name(), true
+		}
+	}
+	return "", false
+}
+
+// PathString renders a selector/index expression as a stable string for
+// lock identity (e.g. "s.mu", "c.shards[i].mu"). Unsupported shapes
+// render with a position-independent placeholder so distinct complex
+// expressions rarely collide.
+func PathString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return PathString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return PathString(e.X) + "[" + PathString(e.Index) + "]"
+	case *ast.StarExpr:
+		return PathString(e.X)
+	case *ast.CallExpr:
+		return PathString(e.Fun) + "()"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "?"
+	}
+}
+
+// HasSuffixPath reports whether the rendered lock path root+suffix
+// matches path (helper for applying Locks/Unlocks summaries).
+func HasSuffixPath(path, root, suffix string) bool {
+	return path == root+suffix || strings.HasSuffix(path, root+suffix)
+}

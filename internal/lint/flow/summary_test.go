@@ -1,0 +1,134 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func summarizeSrc(t *testing.T, src string) (*Summaries, *types.Info, *types.Package, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	return Summarize([]*ast.File{file}, info, pkg), info, pkg, file
+}
+
+func funcSummary(t *testing.T, s *Summaries, info *types.Info, file *ast.File, name string) *FuncSummary {
+	t.Helper()
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			if sum := s.Of(info.Defs[fd.Name]); sum != nil {
+				return sum
+			}
+		}
+	}
+	t.Fatalf("no summary for %s", name)
+	return nil
+}
+
+const summarySrc = `package p
+
+import "sync"
+
+type Res struct{ n int }
+
+func (r *Res) Release() {}
+
+type Box struct {
+	mu sync.Mutex
+	r  *Res
+}
+
+// releaseIt releases its argument directly.
+func releaseIt(r *Res) { r.Release() }
+
+// forwardRelease releases transitively through a same-package helper;
+// the fixpoint has to propagate it.
+func forwardRelease(r *Res) { releaseIt(r) }
+
+// keeps stores its argument: a capture.
+var global *Res
+
+func keeps(r *Res) { global = r }
+
+// returns hands the argument back: a capture.
+func returns(r *Res) *Res { return r }
+
+// reads only touches a field: neither capture nor release.
+func reads(r *Res) int { return r.n }
+
+// lockIt locks a mutex reachable from its receiver.
+func (b *Box) lockIt()   { b.mu.Lock() }
+func (b *Box) unlockIt() { b.mu.Unlock() }
+
+// lockVia propagates lock paths through a method call on the parameter.
+func lockVia(b *Box) { b.lockIt() }
+
+// closes over the parameter in a function literal: a capture.
+func stows(r *Res) func() { return func() { _ = r } }
+`
+
+func TestSummarize(t *testing.T) {
+	s, info, _, file := summarizeSrc(t, summarySrc)
+
+	if sum := funcSummary(t, s, info, file, "releaseIt"); !sum.Releases[0] {
+		t.Error("releaseIt: Releases[0] = false, want true")
+	}
+	if sum := funcSummary(t, s, info, file, "forwardRelease"); !sum.Releases[0] {
+		t.Error("forwardRelease: Releases[0] = false, want true (fixpoint propagation)")
+	}
+	if sum := funcSummary(t, s, info, file, "keeps"); !sum.Captures[0] {
+		t.Error("keeps: Captures[0] = false, want true")
+	}
+	if sum := funcSummary(t, s, info, file, "returns"); !sum.Captures[0] {
+		t.Error("returns: Captures[0] = false, want true")
+	}
+	if sum := funcSummary(t, s, info, file, "reads"); sum.Captures[0] || sum.Releases[0] {
+		t.Errorf("reads: Captures[0]=%v Releases[0]=%v, want both false", sum.Captures[0], sum.Releases[0])
+	}
+	if sum := funcSummary(t, s, info, file, "lockIt"); len(sum.Locks[Receiver]) != 1 || sum.Locks[Receiver][0] != ".mu" {
+		t.Errorf("lockIt: Locks[Receiver] = %v, want [.mu]", sum.Locks[Receiver])
+	}
+	if sum := funcSummary(t, s, info, file, "unlockIt"); len(sum.Unlocks[Receiver]) != 1 || sum.Unlocks[Receiver][0] != ".mu" {
+		t.Errorf("unlockIt: Unlocks[Receiver] = %v, want [.mu]", sum.Unlocks[Receiver])
+	}
+	if sum := funcSummary(t, s, info, file, "lockVia"); len(sum.Locks[0]) != 1 || sum.Locks[0][0] != ".mu" {
+		t.Errorf("lockVia: Locks[0] = %v, want [.mu]", sum.Locks[0])
+	}
+	if sum := funcSummary(t, s, info, file, "stows"); !sum.Captures[0] {
+		t.Error("stows: Captures[0] = false, want true")
+	}
+}
+
+func TestReleasableType(t *testing.T) {
+	_, info, pkg, _ := summarizeSrc(t, summarySrc)
+	_ = info
+	res := pkg.Scope().Lookup("Res").Type()
+	if name, ok := ReleasableType(types.NewPointer(res)); !ok || name != "Res" {
+		t.Errorf("ReleasableType(*Res) = %q, %v; want Res, true", name, ok)
+	}
+	if name, ok := ReleasableType(res); !ok || name != "Res" {
+		t.Errorf("ReleasableType(Res) = %q, %v; want Res, true", name, ok)
+	}
+	box := pkg.Scope().Lookup("Box").Type()
+	if _, ok := ReleasableType(box); ok {
+		t.Error("ReleasableType(Box) = true, want false")
+	}
+}

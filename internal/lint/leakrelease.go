@@ -1,0 +1,595 @@
+package lint
+
+// LeakRelease enforces the ownership contract behind the pooled search
+// kernel (PR 4): every value of a releasable type — a named type with a
+// niladic Release/release method, i.e. roadnet.Expansion, the pooled
+// searchState, cknn's DeroutingMaps — that a function acquires must reach
+// Release on every path out of the function, directly or through a defer
+// (defers also cover panic paths). Aliased values share one abstract
+// resource, so releasing twice through different names is flagged too.
+//
+// The analysis is a forward dataflow pass over the internal/lint/flow
+// CFG. Ownership leaves the tracked set when the value escapes: returned,
+// stored in a composite literal or non-local location, sent on a channel,
+// captured by a closure, or passed to a callee the package summaries
+// cannot vouch for. Escaped values produce no findings — false negatives
+// over false positives.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"ecocharge/internal/lint/flow"
+)
+
+var LeakRelease = &Analyzer{
+	Name: "leakrelease",
+	Doc:  "acquired releasable values (Expansion, pooled state) must reach Release() on every path",
+	Run:  runLeakRelease,
+}
+
+func runLeakRelease(p *Pass) {
+	sums := flow.Summarize(p.Pkg.Files, p.Pkg.Info, p.Pkg.Types)
+	for _, f := range p.Pkg.Files {
+		flow.Functions(f, func(name string, fn ast.Node, body *ast.BlockStmt) {
+			a := &lrAnalysis{
+				pass:     p,
+				sums:     sums,
+				info:     p.Pkg.Info,
+				acquires: make(map[ast.Node]map[int]*lrAcquire),
+			}
+			a.run(body)
+		})
+	}
+}
+
+// lrBits is the abstract state of one acquired resource. Bits are
+// may-facts: the union join keeps every state the value can be in on
+// some path.
+type lrBits uint8
+
+const (
+	lrLive     lrBits = 1 << iota // unreleased on some path
+	lrReleased                    // Release already ran on some path
+	lrDeferRel                    // a deferred Release covers the exits
+	lrEscaped                     // ownership left the function
+)
+
+// lrAcquire is one acquire site: a call (or pool type-assertion) whose
+// result slot carries a releasable type.
+type lrAcquire struct {
+	id       int
+	pos      token.Pos
+	typeName string
+}
+
+// lrFact is the dataflow fact: which local names may be bound to which
+// acquired resources, and what state each resource is in. A name maps to
+// a sorted id set because joins merge bindings from different paths
+// (var d T; if c { d = acquire1() } else { d = acquire2() }): releasing
+// the name then releases every resource it may denote.
+type lrFact struct {
+	bind  map[types.Object][]int
+	state map[int]lrBits
+}
+
+func lrEmpty() lrFact {
+	return lrFact{bind: make(map[types.Object][]int), state: make(map[int]lrBits)}
+}
+
+func lrClone(f lrFact) lrFact {
+	out := lrFact{
+		bind:  make(map[types.Object][]int, len(f.bind)),
+		state: make(map[int]lrBits, len(f.state)),
+	}
+	for k, v := range f.bind {
+		out.bind[k] = append([]int(nil), v...)
+	}
+	for k, v := range f.state {
+		out.state[k] = v
+	}
+	return out
+}
+
+func lrEqual(a, b lrFact) bool {
+	if len(a.bind) != len(b.bind) || len(a.state) != len(b.state) {
+		return false
+	}
+	for k, v := range a.bind {
+		w := b.bind[k]
+		if len(v) != len(w) {
+			return false
+		}
+		for i := range v {
+			if v[i] != w[i] {
+				return false
+			}
+		}
+	}
+	for k, v := range a.state {
+		if b.state[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeIDs unions two sorted id sets.
+func mergeIDs(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func lrJoin(dst, src lrFact) lrFact {
+	for k, v := range src.bind {
+		dst.bind[k] = mergeIDs(dst.bind[k], v)
+	}
+	for k, v := range src.state {
+		dst.state[k] |= v
+	}
+	return dst
+}
+
+type lrAnalysis struct {
+	pass *Pass
+	sums *flow.Summaries
+	info *types.Info
+	// acquires indexes acquire sites by AST node and result slot, so ids
+	// are stable across solver iterations.
+	acquires map[ast.Node]map[int]*lrAcquire
+	nextID   int
+	byID     []*lrAcquire
+}
+
+// reporter is non-nil only during the final replay, so the fixpoint
+// iterations stay silent.
+type lrReporter func(pos token.Pos, format string, args ...any)
+
+func (a *lrAnalysis) run(body *ast.BlockStmt) {
+	// Pre-pass: register every acquire site in source order.
+	flow.Inspect(body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			for _, slot := range a.acquireSlots(e) {
+				a.register(n, slot)
+			}
+		}
+		return true
+	})
+	if a.nextID == 0 {
+		return
+	}
+
+	g := flow.New(body)
+	res := flow.Solve(g, flow.Problem[lrFact]{
+		Dir:      flow.Forward,
+		Boundary: lrEmpty,
+		Init:     lrEmpty,
+		Transfer: func(b *flow.Block, in lrFact) lrFact {
+			for _, n := range b.Nodes {
+				a.step(n, &in, nil)
+			}
+			return in
+		},
+		Join:  lrJoin,
+		Equal: lrEqual,
+		Clone: lrClone,
+	})
+
+	// Replay each block once with reporting on: double releases and
+	// discarded results are anchored at their use sites.
+	rep := func(pos token.Pos, format string, args ...any) {
+		a.pass.Reportf(pos, format, args...)
+	}
+	for _, b := range g.Blocks {
+		fact := lrClone(res.In[b])
+		for _, n := range b.Nodes {
+			a.step(n, &fact, rep)
+		}
+	}
+
+	// Exit check: a resource that may still be live with no deferred
+	// release and no escape leaks on some path.
+	exit := res.In[g.Exit]
+	ids := make([]int, 0, len(exit.state))
+	for id := range exit.state {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		bits := exit.state[id]
+		if bits&lrLive != 0 && bits&(lrDeferRel|lrEscaped) == 0 {
+			acq := a.byID[id]
+			a.pass.Reportf(acq.pos, "%s acquired here is not released on every path out of the function (add Release or defer it)", acq.typeName)
+		}
+	}
+}
+
+func (a *lrAnalysis) register(n ast.Node, slot int) {
+	m := a.acquires[n]
+	if m == nil {
+		m = make(map[int]*lrAcquire)
+		a.acquires[n] = m
+	}
+	if m[slot] != nil {
+		return
+	}
+	acq := &lrAcquire{id: a.nextID, pos: n.Pos()}
+	acq.typeName = a.slotTypeName(n.(ast.Expr), slot)
+	a.nextID++
+	m[slot] = acq
+	a.byID = append(a.byID, acq)
+}
+
+// acquireSlots returns the result slots of e that carry releasable
+// types, for expressions that confer ownership: function/method calls
+// and type assertions over call results (the pool.Get().(*T) idiom).
+func (a *lrAnalysis) acquireSlots(e ast.Expr) []int {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if tv, ok := a.info.Types[e.Fun]; ok && tv.IsType() {
+			return nil // conversion, not a call
+		}
+		t := a.info.TypeOf(e)
+		if tuple, ok := t.(*types.Tuple); ok {
+			var slots []int
+			for i := 0; i < tuple.Len(); i++ {
+				if _, ok := flow.ReleasableType(tuple.At(i).Type()); ok {
+					slots = append(slots, i)
+				}
+			}
+			return slots
+		}
+		if _, ok := flow.ReleasableType(t); ok {
+			return []int{0}
+		}
+	case *ast.TypeAssertExpr:
+		if _, ok := ast.Unparen(e.X).(*ast.CallExpr); !ok {
+			return nil // asserting a held value does not create ownership
+		}
+		if _, ok := flow.ReleasableType(a.info.TypeOf(e)); ok {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+func (a *lrAnalysis) slotTypeName(e ast.Expr, slot int) string {
+	t := a.info.TypeOf(e)
+	if tuple, ok := t.(*types.Tuple); ok && slot < tuple.Len() {
+		t = tuple.At(slot).Type()
+	}
+	name, _ := flow.ReleasableType(t)
+	return name
+}
+
+// step interprets one CFG node against the fact. With rep non-nil it also
+// reports use-site findings (double release, discarded result).
+func (a *lrAnalysis) step(n ast.Node, fact *lrFact, rep lrReporter) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.stepAssign(n, fact, rep)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					a.stepValueSpec(vs, fact, rep)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if m := a.acquires[call]; m != nil {
+				for _, acq := range m {
+					if rep != nil {
+						rep(call.Pos(), "releasable %s returned here is discarded without Release", acq.typeName)
+					}
+				}
+			}
+		}
+		a.scan(n, fact, rep, nil)
+	case *ast.DeferStmt:
+		a.stepDefer(n, fact, rep)
+	case *ast.GoStmt:
+		// A goroutine's timing is unknowable statically: every resource it
+		// references leaves our control, even through a summarized callee.
+		ast.Inspect(n, func(inner ast.Node) bool {
+			if id, ok := inner.(*ast.Ident); ok {
+				if res, bound := fact.bind[a.info.Uses[id]]; bound {
+					fact.escapeAll(res)
+				}
+			}
+			return true
+		})
+	default:
+		a.scan(n, fact, rep, nil)
+	}
+}
+
+// stepAssign handles bindings: x := acquire(), aliases y := x, tuple
+// forms v, err := acquire(), and strong updates on reassignment.
+func (a *lrAnalysis) stepAssign(as *ast.AssignStmt, fact *lrFact, rep lrReporter) {
+	skip := make(map[ast.Node]bool)
+
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Rhs {
+			rhs := ast.Unparen(as.Rhs[i])
+			lhs := ast.Unparen(as.Lhs[i])
+			if m := a.acquires[rhs]; m != nil && m[0] != nil {
+				a.bindAcquire(lhs, m[0], fact, rep)
+				skip[lhs] = true
+				continue
+			}
+			if id, ok := rhs.(*ast.Ident); ok {
+				if res, bound := fact.bind[a.info.Uses[id]]; bound {
+					// Alias: both names denote the same resource(s).
+					if tgt, ok := lhs.(*ast.Ident); ok {
+						if tgt.Name != "_" {
+							if obj := a.lhsObj(tgt); obj != nil {
+								fact.bind[obj] = append([]int(nil), res...)
+							}
+						}
+						skip[lhs], skip[rhs] = true, true
+						continue
+					}
+					// Stored into a field/element: ownership escapes.
+					fact.escapeAll(res)
+					skip[rhs] = true
+					continue
+				}
+			}
+			// Reassigning a bound name to something else drops the binding;
+			// the old resource keeps its state (a leak there is still real).
+			if tgt, ok := lhs.(*ast.Ident); ok {
+				if obj := a.lhsObj(tgt); obj != nil {
+					delete(fact.bind, obj)
+				}
+				skip[lhs] = true
+			}
+		}
+	} else if len(as.Rhs) == 1 {
+		// v, err := acquire() — bind each releasable result slot.
+		rhs := ast.Unparen(as.Rhs[0])
+		if m := a.acquires[rhs]; m != nil {
+			for slot, acq := range m {
+				if slot < len(as.Lhs) {
+					a.bindAcquire(ast.Unparen(as.Lhs[slot]), acq, fact, rep)
+				}
+			}
+		}
+		for _, lhs := range as.Lhs {
+			if tgt, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				skip[lhs] = true
+				if m := a.acquires[rhs]; m == nil {
+					if obj := a.lhsObj(tgt); obj != nil {
+						delete(fact.bind, obj)
+					}
+				}
+			}
+		}
+	}
+	a.scan(as, fact, rep, skip)
+}
+
+func (a *lrAnalysis) stepValueSpec(vs *ast.ValueSpec, fact *lrFact, rep lrReporter) {
+	skip := make(map[ast.Node]bool)
+	if len(vs.Values) == len(vs.Names) {
+		for i, v := range vs.Values {
+			rhs := ast.Unparen(v)
+			if m := a.acquires[rhs]; m != nil && m[0] != nil {
+				a.bindAcquire(vs.Names[i], m[0], fact, rep)
+				skip[vs.Names[i]] = true
+			}
+		}
+	} else if len(vs.Values) == 1 {
+		rhs := ast.Unparen(vs.Values[0])
+		if m := a.acquires[rhs]; m != nil {
+			for slot, acq := range m {
+				if slot < len(vs.Names) {
+					a.bindAcquire(vs.Names[slot], acq, fact, rep)
+					skip[vs.Names[slot]] = true
+				}
+			}
+		}
+	}
+	a.scan(vs, fact, rep, skip)
+}
+
+// bindAcquire binds the target of a fresh acquire, or reports a
+// discarded result for the blank identifier.
+func (a *lrAnalysis) bindAcquire(lhs ast.Node, acq *lrAcquire, fact *lrFact, rep lrReporter) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			if rep != nil {
+				rep(acq.pos, "releasable %s is assigned to the blank identifier and can never be released", acq.typeName)
+			}
+			return
+		}
+		if obj := a.lhsObj(id); obj != nil {
+			fact.bind[obj] = []int{acq.id}
+			fact.state[acq.id] = lrLive
+			return
+		}
+	}
+	// Acquired straight into a field or element: ownership is stored away,
+	// out of this function's hands.
+	fact.state[acq.id] = lrEscaped
+}
+
+// lhsObj resolves an assignment target through either Defs (:=) or Uses.
+func (a *lrAnalysis) lhsObj(id *ast.Ident) types.Object {
+	if obj := a.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return a.info.Uses[id]
+}
+
+func (a *lrAnalysis) stepDefer(ds *ast.DeferStmt, fact *lrFact, rep lrReporter) {
+	call := ds.Call
+	skip := make(map[ast.Node]bool)
+	deferRelease := func(ids []int) {
+		doubled := false
+		for _, id := range ids {
+			if fact.state[id]&(lrReleased|lrDeferRel) != 0 {
+				doubled = true
+			}
+			fact.state[id] = (fact.state[id] &^ lrLive) | lrDeferRel
+		}
+		if doubled && rep != nil {
+			rep(call.Pos(), "resource is released more than once (an earlier Release or deferred Release already covers it)")
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if ids, bound := fact.bind[a.info.Uses[base]]; bound {
+				released := false
+				if isReleaseMethod(sel.Sel.Name) && len(call.Args) == 0 {
+					released = true
+				} else if m := a.sums.Of(a.info.Uses[sel.Sel]); m != nil && m.Releases[flow.Receiver] {
+					released = true
+				}
+				if released {
+					deferRelease(ids)
+					skip[base] = true
+				}
+			}
+		}
+	}
+	// defer helper(x) where the helper's summary releases x.
+	for i, arg := range call.Args {
+		base, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		ids, bound := fact.bind[a.info.Uses[base]]
+		if !bound {
+			continue
+		}
+		if m := a.sums.Of(flow.CalleeObject(a.info, call)); m != nil && m.Releases[i] {
+			deferRelease(ids)
+			skip[base] = true
+		}
+	}
+	a.scan(ds, fact, rep, skip)
+}
+
+// escape moves a resource out of the tracked (live) set.
+func (f *lrFact) escape(id int) {
+	f.state[id] = (f.state[id] &^ lrLive) | lrEscaped
+}
+
+func (f *lrFact) escapeAll(ids []int) {
+	for _, id := range ids {
+		f.escape(id)
+	}
+}
+
+// scan classifies every bound-identifier occurrence under n the same way
+// the summary builder classifies parameters: method calls may release,
+// same-package callees are consulted, everything else that smuggles the
+// value out is an escape.
+func (a *lrAnalysis) scan(n ast.Node, fact *lrFact, rep lrReporter, skip map[ast.Node]bool) {
+	var stack []ast.Node
+	flow.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			// A closure referencing a bound name extends the value's
+			// lifetime beyond this function's control: escape.
+			ast.Inspect(fl.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if res, bound := fact.bind[a.info.Uses[id]]; bound {
+						fact.escapeAll(res)
+					}
+				}
+				return true
+			})
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && !skip[id] {
+			if res, bound := fact.bind[a.info.Uses[id]]; bound {
+				a.classify(stack, id, res, fact, rep)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func (a *lrAnalysis) classify(stack []ast.Node, id *ast.Ident, res []int, fact *lrFact, rep lrReporter) {
+	use := flow.ClassifyUse(stack, id)
+	switch use.Kind {
+	case flow.UseMethodCall:
+		if use.Path != "" {
+			return // method on a field of the resource: a read
+		}
+		name := use.Sel.Sel.Name
+		if isReleaseMethod(name) && len(use.Call.Args) == 0 {
+			a.release(res, use.Call.Pos(), fact, rep)
+			return
+		}
+		if m := a.sums.Of(a.info.Uses[use.Sel.Sel]); m != nil {
+			if m.Releases[flow.Receiver] {
+				a.release(res, use.Call.Pos(), fact, rep)
+			}
+			if m.Captures[flow.Receiver] {
+				fact.escapeAll(res)
+			}
+		}
+		// Other methods on the value are plain uses.
+	case flow.UseBareArg:
+		if m := a.sums.Of(flow.CalleeObject(a.info, use.Call)); m != nil {
+			if m.Releases[use.Arg] {
+				a.release(res, use.Call.Pos(), fact, rep)
+			}
+			if m.Captures[use.Arg] {
+				fact.escapeAll(res)
+			}
+			return // summarized callee vouches for the argument
+		}
+		// Unknown, cross-package or func-value callee: assume captured.
+		fact.escapeAll(res)
+	case flow.UseFieldRead:
+		if use.InReturn && use.Expr != nil {
+			if _, rel := flow.ReleasableType(a.info.TypeOf(use.Expr)); rel {
+				fact.escapeAll(res)
+			}
+		}
+	case flow.UseCapture:
+		fact.escapeAll(res)
+	}
+}
+
+func (a *lrAnalysis) release(res []int, pos token.Pos, fact *lrFact, rep lrReporter) {
+	doubled := false
+	for _, id := range res {
+		if fact.state[id]&(lrReleased|lrDeferRel) != 0 {
+			doubled = true
+		}
+		fact.state[id] = (fact.state[id] &^ lrLive) | lrReleased
+	}
+	if doubled && rep != nil {
+		rep(pos, "resource is released more than once (aliases share the underlying value)")
+	}
+}
+
+func isReleaseMethod(name string) bool { return name == "Release" || name == "release" }

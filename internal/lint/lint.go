@@ -50,7 +50,10 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All lists every analyzer in the order they run.
+// All lists every analyzer in the order they run. The first eight are
+// line-local AST walkers; leakrelease, lockheld and ctxflow are the
+// path-sensitive rules built on internal/lint/flow; baredirective polices
+// the suppression directives themselves.
 var All = []*Analyzer{
 	IntervalLiteral,
 	FloatEq,
@@ -60,6 +63,10 @@ var All = []*Analyzer{
 	HTTPServer,
 	HotAlloc,
 	ObsAlloc,
+	LeakRelease,
+	LockHeld,
+	CtxFlow,
+	BareDirective,
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -110,6 +117,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// reportAlways records a finding regardless of //ecolint:ignore
+// directives. Only baredirective uses it: a bare directive must not be
+// able to silence the analyzer that polices bare directives.
+func (p *Pass) reportAlways(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // TypeOf returns the type of expression e, or nil.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 
@@ -134,20 +155,31 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }
 
-// buildSuppressions scans every comment in the package for
-// //ecolint:ignore directives. A directive silences the named analyzers on
-// its own line and on the line directly below it, so both trailing and
-// standalone-above placements work.
-func (p *Package) buildSuppressions() {
-	if p.suppressed != nil {
-		return
-	}
-	p.suppressed = make(map[string]map[int]map[string]bool)
+// directive is one parsed //ecolint:ignore comment.
+type directive struct {
+	pos token.Pos
+	// names is the comma-separated analyzer list (or ["all"]). Empty when
+	// the directive names no analyzers at all.
+	names []string
+	// reason is the free text after the analyzer list. docs/lint.md makes
+	// it mandatory; the baredirective analyzer enforces that.
+	reason string
+}
+
+// directives parses every //ecolint:ignore comment in the package. Both
+// buildSuppressions and the baredirective analyzer consume this, so the
+// suppression semantics and the policing of the directives cannot drift
+// apart.
+func (p *Package) directives() []directive {
+	var out []directive
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -157,27 +189,49 @@ func (p *Package) buildSuppressions() {
 					continue
 				}
 				rest := strings.TrimPrefix(text, "ecolint:ignore")
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				names := strings.Split(fields[0], ",")
-				pos := p.Fset.Position(c.Pos())
-				byLine := p.suppressed[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					p.suppressed[pos.Filename] = byLine
-				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					set := byLine[line]
-					if set == nil {
-						set = make(map[string]bool)
-						byLine[line] = set
+				d := directive{pos: c.Pos()}
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					for _, n := range strings.Split(fields[0], ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							d.names = append(d.names, n)
+						}
 					}
-					for _, n := range names {
-						set[strings.TrimSpace(n)] = true
-					}
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
 				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// buildSuppressions indexes the package's //ecolint:ignore directives. A
+// directive silences the named analyzers on its own line and on the line
+// directly below it, so both trailing and standalone-above placements
+// work.
+func (p *Package) buildSuppressions() {
+	if p.suppressed != nil {
+		return
+	}
+	p.suppressed = make(map[string]map[int]map[string]bool)
+	for _, d := range p.directives() {
+		if len(d.names) == 0 {
+			continue
+		}
+		pos := p.Fset.Position(d.pos)
+		byLine := p.suppressed[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			p.suppressed[pos.Filename] = byLine
+		}
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			set := byLine[line]
+			if set == nil {
+				set = make(map[string]bool)
+				byLine[line] = set
+			}
+			for _, n := range d.names {
+				set[n] = true
 			}
 		}
 	}

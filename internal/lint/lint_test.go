@@ -33,6 +33,13 @@ func TestAnalyzersGolden(t *testing.T) {
 		// obsalloc fires in internal/cknn and internal/roadnet; the fixture
 		// masquerades as the former.
 		{ObsAlloc, "ecocharge/internal/lintfixture/internal/cknn"},
+		{LeakRelease, "ecocharge/internal/lintfixture/leakrelease"},
+		// lockheld only fires in the hot packages; pose as internal/cknn.
+		{LockHeld, "ecocharge/internal/lintfixture/internal/cknn"},
+		// ctxflow's loop rule only fires in server/worker packages; pose as
+		// internal/eis so both rules are active.
+		{CtxFlow, "ecocharge/internal/lintfixture/internal/eis"},
+		{BareDirective, "ecocharge/internal/lintfixture/baredirective"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -1,0 +1,388 @@
+package lint
+
+// LockHeld enforces lock discipline in the three hot packages
+// (internal/cknn, internal/eis, internal/roadnet): a held sync.Mutex or
+// sync.RWMutex may not span an operation that can block indefinitely —
+// channel sends/receives (unless guarded by a select default), net/http
+// calls, time.Sleep, or sync.WaitGroup.Wait — and every lock must be
+// balanced by an unlock (direct or deferred) on every path out of the
+// function.
+//
+// Locks are identified by the printed form of their receiver expression
+// ("s.mu", "c.shards[i].mu"), which is exactly the alias precision a
+// reviewer applies. Same-package helpers that lock or unlock on behalf of
+// the caller are understood through the flow package's summaries.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ecocharge/internal/lint/flow"
+)
+
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "held mutexes must not span blocking operations and must unlock on every path",
+	Run:  runLockHeld,
+}
+
+var lockHeldPackages = []string{"internal/cknn", "internal/eis", "internal/roadnet"}
+
+func runLockHeld(p *Pass) {
+	inScope := false
+	for _, suffix := range lockHeldPackages {
+		if strings.HasSuffix(p.Pkg.ImportPath, suffix) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return
+	}
+	sums := flow.Summarize(p.Pkg.Files, p.Pkg.Info, p.Pkg.Types)
+	for _, f := range p.Pkg.Files {
+		flow.Functions(f, func(name string, fn ast.Node, body *ast.BlockStmt) {
+			a := &lhAnalysis{pass: p, sums: sums, lockPos: make(map[string]token.Pos)}
+			a.run(fn, body)
+		})
+	}
+}
+
+// lhBits is the abstract state of one lock path.
+type lhBits uint8
+
+const (
+	lhWrite  lhBits = 1 << iota // write-locked on some path
+	lhRead                      // read-locked on some path
+	lhDeferU                    // a deferred unlock covers the exits
+)
+
+type lhFact map[string]lhBits
+
+func lhEmpty() lhFact { return make(lhFact) }
+
+func lhClone(f lhFact) lhFact {
+	out := make(lhFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func lhEqual(a, b lhFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func lhJoin(dst, src lhFact) lhFact {
+	for k, v := range src {
+		dst[k] |= v
+	}
+	return dst
+}
+
+type lhAnalysis struct {
+	pass    *Pass
+	sums    *flow.Summaries
+	g       *flow.Graph
+	lockPos map[string]token.Pos
+}
+
+func (a *lhAnalysis) run(fn ast.Node, body *ast.BlockStmt) {
+	a.g = flow.New(body)
+	res := flow.Solve(a.g, flow.Problem[lhFact]{
+		Dir:      flow.Forward,
+		Boundary: lhEmpty,
+		Init:     lhEmpty,
+		Transfer: func(b *flow.Block, in lhFact) lhFact {
+			for _, n := range b.Nodes {
+				a.step(n, in, nil)
+			}
+			return in
+		},
+		Join:  lhJoin,
+		Equal: lhEqual,
+		Clone: lhClone,
+	})
+
+	rep := func(pos token.Pos, format string, args ...any) {
+		a.pass.Reportf(pos, format, args...)
+	}
+	for _, b := range a.g.Blocks {
+		fact := lhClone(res.In[b])
+		for _, n := range b.Nodes {
+			a.step(n, fact, rep)
+		}
+	}
+
+	// Balance: a lock still held at exit with no deferred unlock escapes
+	// the function locked. Deliberate lock-helpers — functions that lock a
+	// parameter's mutex and never unlock it anywhere in their body — are
+	// exempt: holding is their contract. A function that unlocks the same
+	// mutex on *some* path is not a helper; an exit where it is still held
+	// is a missed path.
+	helper := make(map[string]bool)
+	if fd, ok := fn.(*ast.FuncDecl); ok {
+		if sum := a.sums.Of(a.pass.Pkg.Info.Defs[fd.Name]); sum != nil {
+			params := lhParamNames(fd)
+			for idx, paths := range sum.Locks {
+				unlocked := make(map[string]bool)
+				for _, path := range sum.Unlocks[idx] {
+					unlocked[path] = true
+				}
+				for _, path := range paths {
+					if name, ok := params[idx]; ok && !unlocked[path] {
+						helper[name+path] = true
+					}
+				}
+			}
+		}
+	}
+	exit := res.In[a.g.Exit]
+	keys := make([]string, 0, len(exit))
+	for k := range exit {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bits := exit[k]
+		if bits&(lhWrite|lhRead) != 0 && bits&lhDeferU == 0 && !helper[k] {
+			pos := a.lockPos[k]
+			if !pos.IsValid() {
+				pos = fn.Pos()
+			}
+			a.pass.Reportf(pos, "%s may still be held when the function returns (unlock on every path or defer it)", k)
+		}
+	}
+}
+
+// lhParamNames maps summary parameter indices to the receiver/parameter
+// names of the declaration.
+func lhParamNames(fd *ast.FuncDecl) map[int]string {
+	out := make(map[int]string)
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, n := range f.Names {
+				out[flow.Receiver] = n.Name
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		i := 0
+		for _, f := range fd.Type.Params.List {
+			if len(f.Names) == 0 {
+				i++
+				continue
+			}
+			for _, n := range f.Names {
+				out[i] = n.Name
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// step interprets one CFG node: lock/unlock transitions (direct or via
+// summarized helpers), deferred unlock registration, and — when rep is
+// set — blocking-operation checks against the currently-held set.
+func (a *lhAnalysis) step(n ast.Node, fact lhFact, rep lrReporter) {
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		a.stepDefer(ds, fact)
+		return
+	}
+	info := a.pass.Pkg.Info
+	flow.Inspect(n, func(inner ast.Node) bool {
+		switch inner := inner.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if !a.g.NonBlocking[n] {
+				a.checkHeld(fact, rep, inner.Pos(), "a channel send")
+			}
+		case *ast.UnaryExpr:
+			if inner.Op == token.ARROW && !a.g.NonBlocking[n] {
+				a.checkHeld(fact, rep, inner.Pos(), "a channel receive")
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr); ok && flow.IsMutex(info.TypeOf(sel.X)) {
+				key := flow.PathString(sel.X)
+				switch sel.Sel.Name {
+				case "Lock":
+					if fact[key]&lhWrite != 0 && rep != nil {
+						rep(inner.Pos(), "%s.Lock() while %s is already write-locked on some path (self-deadlock)", key, key)
+					}
+					fact[key] |= lhWrite
+					a.notePos(key, inner.Pos())
+				case "RLock":
+					if fact[key]&lhWrite != 0 && rep != nil {
+						rep(inner.Pos(), "%s.RLock() while %s is write-locked on some path (self-deadlock)", key, key)
+					}
+					fact[key] |= lhRead
+					a.notePos(key, inner.Pos())
+				case "Unlock":
+					fact[key] &^= lhWrite
+				case "RUnlock":
+					fact[key] &^= lhRead
+				}
+				return true
+			}
+			// Same-package helpers that lock or unlock for the caller.
+			if m := a.sums.Of(flow.CalleeObject(info, inner)); m != nil {
+				a.applySummary(inner, m, fact)
+			}
+			if desc := blockingCallDesc(info, inner); desc != "" {
+				a.checkHeld(fact, rep, inner.Pos(), desc)
+			}
+		}
+		return true
+	})
+}
+
+// applySummary replays a callee's lock/unlock effects, re-rooting the
+// summary's parameter-relative paths at the call's receiver/arguments.
+func (a *lhAnalysis) applySummary(call *ast.CallExpr, m *flow.FuncSummary, fact lhFact) {
+	root := func(idx int) (string, bool) {
+		if idx == flow.Receiver {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return flow.PathString(sel.X), true
+			}
+			return "", false
+		}
+		if idx < len(call.Args) {
+			return flow.PathString(call.Args[idx]), true
+		}
+		return "", false
+	}
+	for idx, paths := range m.Locks {
+		if base, ok := root(idx); ok {
+			for _, path := range paths {
+				fact[base+path] |= lhWrite
+				a.notePos(base+path, call.Pos())
+			}
+		}
+	}
+	for idx, paths := range m.Unlocks {
+		if base, ok := root(idx); ok {
+			for _, path := range paths {
+				fact[base+path] &^= lhWrite | lhRead
+			}
+		}
+	}
+}
+
+// stepDefer registers deferred unlocks: defer mu.Unlock(), deferred
+// unlock helpers, and defer func() { ...Unlock()... }().
+func (a *lhAnalysis) stepDefer(ds *ast.DeferStmt, fact lhFact) {
+	info := a.pass.Pkg.Info
+	markUnlocks := func(n ast.Node) {
+		ast.Inspect(n, func(inner ast.Node) bool {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && flow.IsMutex(info.TypeOf(sel.X)) {
+				if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+					fact[flow.PathString(sel.X)] |= lhDeferU
+				}
+				return true
+			}
+			if m := a.sums.Of(flow.CalleeObject(info, call)); m != nil {
+				for idx, paths := range m.Unlocks {
+					var base string
+					switch {
+					case idx == flow.Receiver:
+						sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						base = flow.PathString(sel.X)
+					case idx < len(call.Args):
+						base = flow.PathString(call.Args[idx])
+					default:
+						continue
+					}
+					for _, path := range paths {
+						fact[base+path] |= lhDeferU
+					}
+				}
+			}
+			return true
+		})
+	}
+	if fl, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+		markUnlocks(fl.Body)
+		return
+	}
+	markUnlocks(ds.Call)
+}
+
+func (a *lhAnalysis) checkHeld(fact lhFact, rep lrReporter, pos token.Pos, what string) {
+	if rep == nil {
+		return
+	}
+	keys := make([]string, 0, len(fact))
+	for k, bits := range fact {
+		if bits&(lhWrite|lhRead) != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rep(pos, "%s is held across %s, which can block indefinitely", k, what)
+	}
+}
+
+func (a *lhAnalysis) notePos(key string, pos token.Pos) {
+	if _, ok := a.lockPos[key]; !ok {
+		a.lockPos[key] = pos
+	}
+}
+
+// blockingCallDesc describes the call when it can block indefinitely:
+// time.Sleep, the net/http request entry points (package-level Get/Post/
+// Head/PostForm and the Client/Transport request methods — but not
+// incidental accessors like Header.Get), and sync.WaitGroup.Wait
+// (Cond.Wait counts for the same reason).
+func blockingCallDesc(info *types.Info, call *ast.CallExpr) string {
+	fn, ok := flow.CalleeObject(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" && sig.Recv() == nil {
+			return "time.Sleep"
+		}
+	case "net/http":
+		if sig.Recv() == nil {
+			switch fn.Name() {
+			case "Get", "Post", "Head", "PostForm":
+				return "an http request (http." + fn.Name() + ")"
+			}
+			return ""
+		}
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head", "RoundTrip":
+			return "an http request (" + fn.Name() + ")"
+		}
+	case "sync":
+		if fn.Name() == "Wait" {
+			return "a sync Wait"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,103 @@
+// Package fixture exercises the ctxflow analyzer: the file poses as part
+// of internal/eis (see the import path in lint_test.go), so both rules
+// apply — ctx-bearing functions must thread their context through blocking
+// calls, and unbounded worker loops must observe ctx.
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// GoodTimer waits the cancellable way.
+func GoodTimer(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// GoodRequest builds the request with the context attached.
+func GoodRequest(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}
+
+// GoodNoCtx has no context to thread; a plain sleep is fine.
+func GoodNoCtx() {
+	time.Sleep(time.Millisecond)
+}
+
+// BadSleep ignores the deadline it was handed.
+func BadSleep(ctx context.Context) {
+	time.Sleep(time.Second) // flagged
+}
+
+// BadSleepValue hides the same bug behind a function value.
+func BadSleepValue(ctx context.Context) {
+	wait := time.Sleep // flagged: the reference, not just a call
+	wait(time.Millisecond)
+}
+
+// BadGet uses the context-less entry point.
+func BadGet(ctx context.Context, url string) {
+	resp, err := http.Get(url) // flagged
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// BadNewRequest drops the context at construction time.
+func BadNewRequest(ctx context.Context, url string) {
+	req, _ := http.NewRequest(http.MethodGet, url, nil) // flagged
+	_ = req
+}
+
+// BadHandler shows *http.Request counts as carrying a context.
+func BadHandler(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Millisecond) // flagged
+}
+
+// GoodLoop can always be cancelled.
+func GoodLoop(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// GoodBreak has a data-driven exit; not unbounded.
+func GoodBreak(ch chan int) {
+	for {
+		if <-ch == 0 {
+			break
+		}
+	}
+}
+
+// BadLoop drains forever with no way out.
+func BadLoop(ch chan int) {
+	for { // flagged: never observes ctx
+		<-ch
+	}
+}
+
+// SuppressedWitness documents a deliberate process-lifetime pump.
+func SuppressedWitness(events chan int) {
+	//ecolint:ignore ctxflow process-lifetime pump; torn down only when the process exits
+	for {
+		<-events
+	}
+}

@@ -1,0 +1,105 @@
+// Package fixture exercises the leakrelease analyzer: values acquired
+// from a constructor that returns a releasable type (one with a niladic
+// Release method) must reach Release() on every path out of the function.
+package fixture
+
+// Expansion mirrors the real roadnet.Expansion surface: pool-backed, and
+// leaked permanently if Release is never called.
+type Expansion struct{ n int }
+
+func (e *Expansion) Release() {}
+
+func acquire() *Expansion { return &Expansion{} }
+
+func acquirePair() (*Expansion, error) { return &Expansion{}, nil }
+
+// GoodDefer is the intended shape: release is deferred immediately.
+func GoodDefer() int {
+	e := acquire()
+	defer e.Release()
+	return e.n
+}
+
+// GoodAllPaths releases explicitly on both branches.
+func GoodAllPaths(c bool) int {
+	e := acquire()
+	if c {
+		e.Release()
+		return 1
+	}
+	n := e.n
+	e.Release()
+	return n
+}
+
+// GoodBranchMerge binds two acquire sites to one name before the deferred
+// release; both sites are covered (no finding).
+func GoodBranchMerge(c bool) int {
+	var e *Expansion
+	if c {
+		e = acquire()
+	} else {
+		e = acquire()
+	}
+	defer e.Release()
+	return e.n
+}
+
+// GoodHelper delegates the release to a same-package helper; the helper's
+// summary vouches for the argument.
+func GoodHelper() {
+	e := acquire()
+	releaseIt(e)
+}
+
+func releaseIt(e *Expansion) { e.Release() }
+
+// GoodReturn transfers ownership to the caller.
+func GoodReturn() *Expansion { return acquire() }
+
+// GoodStore escapes into a longer-lived structure.
+type holder struct{ e *Expansion }
+
+func GoodStore(h *holder) { h.e = acquire() }
+
+// BadNoRelease is the seeded leak: the defer was "forgotten".
+func BadNoRelease() int {
+	e := acquire() // flagged: never released
+	return e.n
+}
+
+// BadErrPath leaks on the early error return.
+func BadErrPath() (int, error) {
+	e, err := acquirePair() // flagged: not released on the err path
+	if err != nil {
+		return 0, err
+	}
+	n := e.n
+	e.Release()
+	return n, nil
+}
+
+// BadDiscard drops the acquired value on the floor.
+func BadDiscard() {
+	acquire() // flagged: result discarded
+}
+
+// BadDoubleRelease releases the same value twice.
+func BadDoubleRelease() {
+	e := acquire()
+	e.Release()
+	e.Release() // flagged: released more than once
+}
+
+// BadDeferPlusExplicit pairs a deferred release with an explicit one.
+func BadDeferPlusExplicit() {
+	e := acquire()
+	defer e.Release()
+	e.Release() // flagged: the defer will release it again
+}
+
+// SuppressedWitness documents a deliberate leak with the escape hatch.
+func SuppressedWitness() {
+	//ecolint:ignore leakrelease fire-and-forget warmup; the background sweeper reclaims it
+	acquire()
+}

@@ -1,0 +1,97 @@
+// Package fixture exercises the lockheld analyzer: the file poses as part
+// of internal/cknn (see the import path in lint_test.go), where a held
+// mutex may not span a blocking operation and must unlock on every path.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type cache struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+// GoodDefer is the intended shape: lock, defer unlock, touch memory only.
+func (c *cache) GoodDefer(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+// GoodTrySend holds the lock across a send that cannot block: the select
+// has a default arm.
+func (c *cache) GoodTrySend(ch chan int) {
+	c.mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	c.mu.Unlock()
+}
+
+// GoodHelperPair uses same-package lock/unlock helpers; the summaries keep
+// the books balanced.
+func (c *cache) GoodHelperPair(k string) int {
+	lockShard(c)
+	defer unlockShard(c)
+	return c.m[k]
+}
+
+// lockShard locks on behalf of its caller; holding at return is its
+// contract, so the balance check exempts it.
+func lockShard(c *cache) { c.mu.Lock() }
+
+func unlockShard(c *cache) { c.mu.Unlock() }
+
+// BadSleep parks the scheduler while every other goroutine queues on mu.
+func (c *cache) BadSleep() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // flagged: held across time.Sleep
+	c.mu.Unlock()
+}
+
+// BadRPC holds the lock across a network round trip.
+func (c *cache) BadRPC(cl *http.Client, req *http.Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := cl.Do(req) // flagged: held across an http request
+	return err
+}
+
+// BadSend can block forever if no receiver is ready.
+func (c *cache) BadSend(ch chan int) {
+	c.mu.Lock()
+	ch <- 1 // flagged: held across a channel send
+	c.mu.Unlock()
+}
+
+// BadReadSleep shows RLock is tracked too.
+func (c *cache) BadReadSleep() {
+	c.rw.RLock()
+	time.Sleep(time.Millisecond) // flagged
+	c.rw.RUnlock()
+}
+
+// BadEarlyReturn leaves the lock held on the miss path.
+func (c *cache) BadEarlyReturn(k string) (int, bool) {
+	c.mu.Lock() // flagged: may still be held at return
+	v, ok := c.m[k]
+	if !ok {
+		return 0, false
+	}
+	c.mu.Unlock()
+	return v, true
+}
+
+// SuppressedWitness stands in for a deliberate hold with the escape hatch
+// documenting why.
+func (c *cache) SuppressedWitness() {
+	c.mu.Lock()
+	//ecolint:ignore lockheld startup-only path; nothing contends before serving begins
+	time.Sleep(time.Millisecond)
+	c.mu.Unlock()
+}
