@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"ecocharge/internal/charger"
 	"ecocharge/internal/interval"
 	"ecocharge/internal/roadnet"
 )
@@ -51,6 +52,40 @@ func (d DeroutingMaps) Release() {
 	}
 }
 
+// deroutTargets collects the road-network nodes the filtering phase will
+// read from the derouting maps: one per candidate charger plus the return
+// node (whose forward distance is the on-route baseline). It is the only
+// producer of the target slices handed to the batched derouting variants,
+// which rely on the return node being present.
+func deroutTargets(cands []*charger.Charger, ret roadnet.NodeID) []roadnet.NodeID {
+	out := make([]roadnet.NodeID, 0, len(cands)+1)
+	for _, c := range cands {
+		out = append(out, c.Node)
+	}
+	return append(out, ret)
+}
+
+// deroutingMapsFor prices a visit to the candidate set: the batched
+// target-aware expansions by default, the full-ball deroutingMaps when the
+// environment's FullDerouting oracle switch is set or no target set is
+// known. The two paths are byte-identical at the candidate nodes (the
+// differential suite in derouting_batch_test.go proves it), so which one
+// runs is purely a cost decision.
+func (env *Env) deroutingMapsFor(q Query, boundSec float64, targets []roadnet.NodeID) DeroutingMaps {
+	if env.FullDerouting || targets == nil {
+		return env.deroutingMaps(q, boundSec)
+	}
+	return env.deroutingMapsTo(q, boundSec, targets)
+}
+
+// deroutingMapsApproxFor is deroutingMapsFor for the approximate variant.
+func (env *Env) deroutingMapsApproxFor(q Query, boundSec float64, targets []roadnet.NodeID) DeroutingMaps {
+	if env.FullDerouting || targets == nil {
+		return env.deroutingMapsApprox(q, boundSec)
+	}
+	return env.deroutingMapsApproxTo(q, boundSec, targets)
+}
+
 // deroutingMaps runs the four bounded expansions. boundSec limits the
 // search effort; pass math.Inf(1) for the exhaustive (brute-force) variant.
 func (env *Env) deroutingMaps(q Query, boundSec float64) DeroutingMaps {
@@ -73,6 +108,37 @@ func (env *Env) deroutingMaps(q Query, boundSec float64) DeroutingMaps {
 	if math.IsInf(d.baseLo, 1) {
 		// Return node unreachable within the bound: treat the on-route
 		// baseline as zero so derouting reduces to the round-trip cost.
+		d.baseLo, d.baseHi = 0, 0
+	}
+	return d
+}
+
+// deroutingMapsTo is the batched form of deroutingMaps: the four
+// expansions terminate as soon as every target is settled instead of
+// settling the whole travel-time ball (Alg. 1 prices a few hundred
+// candidates; the ball holds orders of magnitude more). targets must come
+// from deroutTargets — Cost/TravelTo are exact only at the targets, and the
+// on-route baseline needs the return node among them.
+func (env *Env) deroutingMapsTo(q Query, boundSec float64, targets []roadnet.NodeID) DeroutingMaps {
+	met.deroutExact.Inc()
+	met.deroutBatched.Inc()
+	met.deroutTargets.Add(uint64(len(targets)))
+	loT, hiT := env.Traffic.ClassWeightTables(q.ETABase, q.Now)
+	ret := q.ReturnNode
+	if ret < 0 {
+		ret = q.AnchorNode
+	}
+	d := DeroutingMaps{
+		fwdLo:   env.Graph.ExpandToMany(q.AnchorNode, targets, loT, boundSec),
+		fwdHi:   env.Graph.ExpandToMany(q.AnchorNode, targets, hiT, boundSec),
+		retLo:   env.Graph.ExpandToManyReverse(ret, targets, loT, boundSec),
+		retHi:   env.Graph.ExpandToManyReverse(ret, targets, hiT, boundSec),
+		scaleLo: 1,
+		scaleHi: 1,
+	}
+	d.baseLo = distOr(d.fwdLo, ret, math.Inf(1))
+	d.baseHi = distOr(d.fwdHi, ret, math.Inf(1))
+	if math.IsInf(d.baseLo, 1) {
 		d.baseLo, d.baseHi = 0, 0
 	}
 	return d
@@ -127,6 +193,53 @@ func (env *Env) deroutingMapsApprox(q Query, boundSec float64) DeroutingMaps {
 	}
 	fwd := env.Graph.ExpandFrom(q.AnchorNode, midT, boundSec)
 	rev := env.Graph.ExpandTo(ret, midT, boundSec)
+
+	d := DeroutingMaps{
+		fwdLo: fwd, fwdHi: fwd,
+		retLo: rev, retHi: rev,
+		scaleLo: loRatio, scaleHi: hiRatio,
+		approx: true,
+	}
+	base := distOr(fwd, ret, math.Inf(1))
+	if math.IsInf(base, 1) {
+		d.baseLo, d.baseHi = 0, 0
+	} else {
+		d.baseLo, d.baseHi = base*loRatio, base*hiRatio
+	}
+	return d
+}
+
+// deroutingMapsApproxTo is the batched form of deroutingMapsApprox: the
+// two mid-traffic expansions terminate once every target is settled. The
+// lazy scale factors and the hi-view aliasing are identical to the
+// full-ball variant; only the search effort changes.
+func (env *Env) deroutingMapsApproxTo(q Query, boundSec float64, targets []roadnet.NodeID) DeroutingMaps {
+	met.deroutApprox.Inc()
+	met.deroutBatched.Inc()
+	met.deroutTargets.Add(uint64(len(targets)))
+	loT, hiT := env.Traffic.ClassWeightTables(q.ETABase, q.Now)
+
+	var midT roadnet.ClassWeights
+	loRatio, hiRatio := 1.0, 1.0
+	for c := range midT {
+		midT[c] = (loT[c] + hiT[c]) / 2
+		if midT[c] <= 0 {
+			continue
+		}
+		if r := loT[c] / midT[c]; r < loRatio {
+			loRatio = r
+		}
+		if r := hiT[c] / midT[c]; r > hiRatio {
+			hiRatio = r
+		}
+	}
+
+	ret := q.ReturnNode
+	if ret < 0 {
+		ret = q.AnchorNode
+	}
+	fwd := env.Graph.ExpandToMany(q.AnchorNode, targets, midT, boundSec)
+	rev := env.Graph.ExpandToManyReverse(ret, targets, midT, boundSec)
 
 	d := DeroutingMaps{
 		fwdLo: fwd, fwdHi: fwd,

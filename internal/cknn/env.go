@@ -40,6 +40,14 @@ type Env struct {
 	// contract of docs/resilience.md). Assign it before the environment is
 	// shared between goroutines; nil means every source always serves.
 	Faults FaultPolicy
+
+	// FullDerouting forces every ranking method back onto the full-ball
+	// derouting expansions instead of the batched target-aware ones. The
+	// two paths are byte-identical at the candidate nodes; this switch
+	// exists so the differential suite can run the per-charger oracle
+	// through unmodified methods. Assign it before the environment is
+	// shared between goroutines; production leaves it false.
+	FullDerouting bool
 }
 
 // Component names one Estimated Component for fault bookkeeping.

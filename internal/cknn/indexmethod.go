@@ -90,7 +90,7 @@ func (m *SpatialIndexMethod) Rank(q Query) OfferingTable {
 			bound = b
 		}
 	}
-	d := m.engine.Env.deroutingMaps(q, bound)
+	d := m.engine.Env.deroutingMapsFor(q, bound, deroutTargets(cands, q.ReturnNode))
 	defer d.Release()
 	return OfferingTable{
 		Anchor:      q.Anchor,

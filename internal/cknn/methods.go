@@ -77,13 +77,16 @@ func (m *BruteForce) SetWorkers(n int) { m.engine.Workers = n }
 // Rank implements Method.
 func (m *BruteForce) Rank(q Query) OfferingTable {
 	q = q.normalized()
-	d := m.engine.Env.deroutingMaps(q, math.Inf(1))
-	defer d.Release()
 	all := m.engine.Env.Chargers.All()
 	cands := make([]*charger.Charger, len(all))
 	for i := range all {
 		cands[i] = &all[i]
 	}
+	// Unbounded search effort, but the expansions still stop once every
+	// charger (and the return node) is settled — the exhaustive baseline
+	// pays for the candidate set, not for the whole graph.
+	d := m.engine.Env.deroutingMapsFor(q, math.Inf(1), deroutTargets(cands, q.ReturnNode))
+	defer d.Release()
 	return OfferingTable{
 		Anchor:      q.Anchor,
 		GeneratedAt: q.Now,
@@ -138,7 +141,7 @@ func (m *IndexQuadtree) Rank(q Query) OfferingTable {
 			bound = b
 		}
 	}
-	d := m.engine.Env.deroutingMaps(q, bound)
+	d := m.engine.Env.deroutingMapsFor(q, bound, deroutTargets(cands, q.ReturnNode))
 	defer d.Release()
 	return OfferingTable{
 		Anchor:      q.Anchor,
@@ -298,11 +301,12 @@ func (m *EcoCharge) compute(q Query) OfferingTable {
 	// times that. Larger R therefore expands farther (slower) and keeps
 	// more chargers offerable (more accurate) — the Fig. 7 tradeoff.
 	budget := q.RadiusM / avgUrbanSpeed
+	targets := deroutTargets(cands, q.ReturnNode)
 	var d DeroutingMaps
 	if m.opts.ExactDerouting {
-		d = m.engine.Env.deroutingMaps(q, budget)
+		d = m.engine.Env.deroutingMapsFor(q, budget, targets)
 	} else {
-		d = m.engine.Env.deroutingMapsApprox(q, budget)
+		d = m.engine.Env.deroutingMapsApproxFor(q, budget, targets)
 	}
 	defer d.Release()
 	return OfferingTable{

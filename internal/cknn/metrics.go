@@ -34,9 +34,13 @@ type engineMetrics struct {
 	cacheSlots         *obs.Gauge   // live owner slots across all ShardedCaches
 
 	// DeroutingMaps construction and release (each exact computation runs
-	// four pooled expansions, each approximation two).
+	// four pooled expansions, each approximation two). Batched computations
+	// also count their targets, so targets-per-computation and (with the
+	// roadnet_many_* counters) settled-nodes-per-target are derivable.
 	deroutExact    *obs.Counter
 	deroutApprox   *obs.Counter
+	deroutBatched  *obs.Counter
+	deroutTargets  *obs.Counter
 	deroutReleases *obs.Counter
 }
 
@@ -58,6 +62,8 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		cacheSlots:         r.Gauge("cknn_cache_slots"),
 		deroutExact:        r.Counter("cknn_derouting_exact_total"),
 		deroutApprox:       r.Counter("cknn_derouting_approx_total"),
+		deroutBatched:      r.Counter("cknn_derouting_batched_total"),
+		deroutTargets:      r.Counter("cknn_derouting_targets_total"),
 		deroutReleases:     r.Counter("cknn_derouting_releases_total"),
 	}
 }

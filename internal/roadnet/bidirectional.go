@@ -81,17 +81,17 @@ func (g *Graph) BidirectionalShortestPath(src, dst NodeID, w WeightFunc) (Path, 
 		}
 		if topF <= topB {
 			cur := stF.pq.pop()
-			if stF.done[cur.node] == stF.stamp {
+			if stF.mark[cur.node].done == stF.stamp {
 				continue
 			}
-			stF.done[cur.node] = stF.stamp
+			stF.mark[cur.node].done = stF.stamp
 			relax(stF, stB, cur.node, false)
 		} else {
 			cur := stB.pq.pop()
-			if stB.done[cur.node] == stB.stamp {
+			if stB.mark[cur.node].done == stB.stamp {
 				continue
 			}
-			stB.done[cur.node] = stB.stamp
+			stB.mark[cur.node].done = stB.stamp
 			relax(stB, stF, cur.node, true)
 		}
 	}

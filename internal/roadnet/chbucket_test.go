@@ -1,0 +1,143 @@
+package roadnet
+
+// Differential suite for the bucket-CH many-to-many index: every distance a
+// CHBuckets sweep reports must be bit-identical to the pairwise
+// ContractionHierarchy.Query over the same hierarchy. Both sides settle the
+// same upward search spaces and add the same meeting-node operand pairs, so
+// this is an equality test, not a tolerance test.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sameFloat compares bitwise but lets any +Inf representation match.
+func sameFloat(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestCHBucketsMatchPairwiseQuery(t *testing.T) {
+	for gname, g := range diffGraphs() {
+		for tname, cw := range diffTables() {
+			ch := BuildCH(g, cw.Func())
+			rng := rand.New(rand.NewSource(23))
+			n := g.NumNodes()
+
+			targets := make([]NodeID, 0, 18)
+			for i := 0; i < 14; i++ {
+				targets = append(targets, NodeID(rng.Intn(n)))
+			}
+			// Duplicates and invalid IDs get slots too: dup slots must agree
+			// with each other, invalid slots must stay +Inf.
+			targets = append(targets, targets[0], -2, NodeID(n), NodeID(n-1))
+
+			tb := ch.TargetBuckets(targets)
+			sb := ch.SourceBuckets(targets)
+			var fwd, rev []float64
+			for trial := 0; trial < 8; trial++ {
+				origin := NodeID(rng.Intn(n))
+				fwd = tb.DistancesFrom(origin, fwd)
+				rev = sb.DistancesTo(origin, rev)
+				for i, tgt := range targets {
+					if !g.validID(tgt) {
+						if !math.IsInf(fwd[i], 1) || !math.IsInf(rev[i], 1) {
+							t.Fatalf("%s/%s: invalid target slot %d not +Inf", gname, tname, i)
+						}
+						continue
+					}
+					if want := ch.Query(origin, tgt); !sameFloat(fwd[i], want) {
+						t.Fatalf("%s/%s: DistancesFrom(%d)[%d]=%v, Query(%d,%d)=%v",
+							gname, tname, origin, i, fwd[i], origin, tgt, want)
+					}
+					if want := ch.Query(tgt, origin); !sameFloat(rev[i], want) {
+						t.Fatalf("%s/%s: DistancesTo(%d)[%d]=%v, Query(%d,%d)=%v",
+							gname, tname, origin, i, rev[i], tgt, origin, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCHBucketsInvalidOrigin(t *testing.T) {
+	g := tinyGraph()
+	ch := BuildCH(g, DistanceWeight)
+	tb := ch.TargetBuckets([]NodeID{0, 4})
+	for _, origin := range []NodeID{-1, NodeID(g.NumNodes()), Invalid} {
+		out := tb.DistancesFrom(origin, nil)
+		for i, d := range out {
+			if !math.IsInf(d, 1) {
+				t.Fatalf("invalid origin %d: slot %d = %v, want +Inf", origin, i, d)
+			}
+		}
+	}
+}
+
+// TestCHBucketsOutReuse pins the allocation contract of the out slice: a
+// slice with capacity is reused in place, anything smaller is replaced.
+func TestCHBucketsOutReuse(t *testing.T) {
+	g := tinyGraph()
+	ch := BuildCH(g, DistanceWeight)
+	targets := []NodeID{1, 4, 5}
+	tb := ch.TargetBuckets(targets)
+
+	big := make([]float64, 0, 8)
+	out := tb.DistancesFrom(0, big)
+	if len(out) != len(targets) || &out[0] != &big[:1][0] {
+		t.Fatal("out slice with capacity was not reused in place")
+	}
+	small := make([]float64, 1)
+	out = tb.DistancesFrom(0, small)
+	if len(out) != len(targets) {
+		t.Fatalf("undersized out: len %d, want %d", len(out), len(targets))
+	}
+}
+
+func TestCHBucketsWrongDirectionPanics(t *testing.T) {
+	g := tinyGraph()
+	ch := BuildCH(g, DistanceWeight)
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	tb := ch.TargetBuckets([]NodeID{0})
+	assertPanics("DistancesTo on TargetBuckets", func() { tb.DistancesTo(0, nil) })
+	sb := ch.SourceBuckets([]NodeID{0})
+	assertPanics("DistancesFrom on SourceBuckets", func() { sb.DistancesFrom(0, nil) })
+}
+
+// TestCHBucketsSweepZeroAlloc: with buckets prebuilt and the out slice
+// supplied, the per-anchor sweep must not allocate.
+func TestCHBucketsSweepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	g := smallUrban(3)
+	ch := BuildCH(g, TimeClassWeights().Func())
+	rng := rand.New(rand.NewSource(5))
+	targets := make([]NodeID, 40)
+	for i := range targets {
+		targets[i] = NodeID(rng.Intn(g.NumNodes()))
+	}
+	tb := ch.TargetBuckets(targets)
+	out := make([]float64, len(targets))
+	src := NodeID(g.NumNodes() / 3)
+	for i := 0; i < 4; i++ {
+		out = tb.DistancesFrom(src, out)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		out = tb.DistancesFrom(src, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state bucket sweep allocates %.1f allocs/op, want 0", allocs)
+	}
+}

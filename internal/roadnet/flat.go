@@ -118,6 +118,16 @@ func (h *heap4) pop() heapItem {
 	return top
 }
 
+// nodeMark packs one node's settled and target generation stamps into a
+// single word. The hot settle loop writes mark[n].done on every pop; keeping
+// the target stamp beside it means the many-target probe reads the cache
+// line the loop just touched instead of paying a second random load — that
+// probe costs ~20% of a whole-graph expansion when targ is a separate array.
+type nodeMark struct {
+	done uint32 // == stamp ⇔ n was settled (popped) this search
+	targ uint32 // == stamp ⇔ n is a still-unsettled target (see many.go)
+}
+
 // searchState is the recycled scratch of one search: dense distance,
 // predecessor and generation arrays sized to the graph, plus the frontier
 // heap. A slot n is valid for the current search iff seen[n] == stamp;
@@ -128,11 +138,17 @@ type searchState struct {
 	dist  []float64
 	prev  []NodeID
 	seen  []uint32 // seen[n] == stamp ⇔ dist[n]/prev[n] hold this search's values
-	done  []uint32 // done[n] == stamp ⇔ n was settled (popped) this search
+	mark  []nodeMark
 	stamp uint32
 	cw    ClassWeights // table slot so ExpandFrom/ExpandTo need no extra escape
 	pq    heap4
-	inUse bool
+	// targetsLeft counts the marked-but-unsettled targets of a many-target
+	// search; 0 disables early termination (the plain expansion path).
+	targetsLeft int
+	// settled counts the nodes popped by the last run, reported to the obs
+	// layer by the many-target wrappers.
+	settled int
+	inUse   bool
 }
 
 func newSearchState(g *Graph) *searchState {
@@ -142,7 +158,7 @@ func newSearchState(g *Graph) *searchState {
 		dist: make([]float64, n),
 		prev: make([]NodeID, n),
 		seen: make([]uint32, n),
-		done: make([]uint32, n),
+		mark: make([]nodeMark, n),
 		pq:   heap4{items: make([]heapItem, 0, 256)},
 	}
 }
@@ -161,11 +177,13 @@ func (g *Graph) acquireState() *searchState {
 // four billion searches ago cannot alias the new stamp.
 func (st *searchState) begin() {
 	st.inUse = true
+	st.targetsLeft = 0 // a prior search may have ended with unsettled targets
+	st.settled = 0
 	st.stamp++
 	if st.stamp == 0 {
 		for i := range st.seen {
 			st.seen[i] = 0
-			st.done[i] = 0
+			st.mark[i] = nodeMark{}
 		}
 		st.stamp = 1
 	}
@@ -207,12 +225,24 @@ func (st *searchState) run(src, dst NodeID, w WeightFunc, cw *ClassWeights, maxW
 	st.seed(src)
 	for len(st.pq.items) > 0 {
 		cur := st.pq.pop()
-		if st.done[cur.node] == st.stamp {
+		m := &st.mark[cur.node]
+		if m.done == st.stamp {
 			continue
 		}
-		st.done[cur.node] = st.stamp
+		m.done = st.stamp
+		st.settled++
 		if cur.node == dst {
 			break
+		}
+		if st.targetsLeft > 0 && m.targ == st.stamp {
+			// A target just settled: its distance is final (Dijkstra pops in
+			// non-decreasing order), so once the last one settles nothing the
+			// remaining frontier could discover changes any target value —
+			// stopping here is byte-identical at the targets to running the
+			// expansion to exhaustion.
+			if st.targetsLeft--; st.targetsLeft == 0 {
+				break
+			}
 		}
 		var out []int32
 		if reverse {

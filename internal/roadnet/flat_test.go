@@ -361,7 +361,7 @@ func TestSearchStateStampWrap(t *testing.T) {
 	// Fake stale data that would alias stamp 1 after a naive wrap.
 	for i := range st.seen {
 		st.seen[i] = 1
-		st.done[i] = 1
+		st.mark[i].done = 1
 		st.dist[i] = -123
 	}
 	st.begin() // -> MaxUint32

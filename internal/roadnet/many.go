@@ -1,0 +1,75 @@
+package roadnet
+
+// many.go is the target-aware face of the flat kernel: one-to-many
+// expansions that know the node set the caller will read and stop as soon
+// as every one of those nodes is settled. The derouting component prices a
+// visit to a few hundred candidate chargers per query but the plain bounded
+// expansion settles every node inside the travel-time ball — orders of
+// magnitude more than gets read. Because Dijkstra settles nodes in
+// non-decreasing distance order, a settled target's distance is final, so
+// terminating after the last target is byte-identical *at the targets* to
+// running the expansion to exhaustion; the differential and fuzz suites in
+// many_test.go pin that equivalence against a map-backed oracle.
+
+// ExpandToMany runs a bounded forward expansion from src that terminates as
+// soon as every node in targets has been settled. Dist is exact (and
+// byte-identical to ExpandFrom) for src and every target reachable within
+// maxWeight; values at other nodes are whatever the truncated search left
+// behind and must not be read. Targets that are invalid, duplicated, or
+// unreachable within the bound are tolerated — unreachable targets simply
+// cost the full bounded expansion, exactly what ExpandFrom would have paid.
+// An empty (or all-invalid) target set yields an empty expansion without
+// searching. Callers must Release the expansion, as with ExpandFrom.
+func (g *Graph) ExpandToMany(src NodeID, targets []NodeID, cw ClassWeights, maxWeight float64) Expansion {
+	return g.expandMany(src, targets, cw, maxWeight, false)
+}
+
+// ExpandToManyReverse is ExpandToMany on the reverse graph: the weight of
+// reaching dst from each target (the return-to-route leg), terminating once
+// all targets are settled.
+func (g *Graph) ExpandToManyReverse(dst NodeID, targets []NodeID, cw ClassWeights, maxWeight float64) Expansion {
+	return g.expandMany(dst, targets, cw, maxWeight, true)
+}
+
+func (g *Graph) expandMany(origin NodeID, targets []NodeID, cw ClassWeights, maxWeight float64, reverse bool) Expansion {
+	met.manyExpansions.Inc()
+	g.mustFrozen()
+	st := g.acquireState()
+	if !g.validID(origin) {
+		return Expansion{st: st}
+	}
+	want := st.markTargets(targets)
+	if want == 0 {
+		// Nothing will be read: the empty expansion is the cheapest answer
+		// that satisfies the contract.
+		met.manyEarlyTerms.Inc()
+		return Expansion{st: st}
+	}
+	st.cw = cw
+	st.run(origin, Invalid, nil, &st.cw, maxWeight, false, reverse)
+	met.manySettled.Add(uint64(st.settled))
+	met.manyTargetsSettled.Add(uint64(want - st.targetsLeft))
+	if st.targetsLeft == 0 && len(st.pq.items) > 0 {
+		// All targets settled with frontier remaining: the truncation saved
+		// the whole tail of the ball.
+		met.manyEarlyTerms.Inc()
+	}
+	return Expansion{st: st}
+}
+
+// markTargets stamps the target set into the generation-stamped mark array
+// and returns the number of distinct valid targets. Sharing the search
+// stamp makes clearing free: entries from previous searches can never alias
+// the current generation.
+func (st *searchState) markTargets(targets []NodeID) int {
+	n := 0
+	for _, t := range targets {
+		if t < 0 || int(t) >= len(st.mark) || st.mark[t].targ == st.stamp {
+			continue
+		}
+		st.mark[t].targ = st.stamp
+		n++
+	}
+	st.targetsLeft = n
+	return n
+}

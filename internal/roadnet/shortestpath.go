@@ -98,10 +98,10 @@ func (g *Graph) AStar(src, dst NodeID, w WeightFunc, heuristicScale float64) (Pa
 	st.pq.push(src, h(src))
 	for len(st.pq.items) > 0 {
 		cur := st.pq.pop()
-		if st.done[cur.node] == st.stamp {
+		if st.mark[cur.node].done == st.stamp {
 			continue
 		}
-		st.done[cur.node] = st.stamp
+		st.mark[cur.node].done = st.stamp
 		if cur.node == dst {
 			return Path{Nodes: st.path(src, dst), Weight: st.dist[dst]}, true
 		}
