@@ -25,6 +25,7 @@ import (
 	"ecocharge/internal/eis"
 	"ecocharge/internal/experiment"
 	"ecocharge/internal/fault"
+	"ecocharge/internal/fleet"
 	"ecocharge/internal/obs"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		ttl         = flag.Duration("cache-ttl", 5*time.Minute, "server-side dynamic cache TTL")
 		cell        = flag.Float64("cache-cell", 2000, "server-side cache cell size in meters")
 		workers     = flag.Int("workers", 0, "ranking parallelism per request (0 = GOMAXPROCS, 1 = sequential)")
+		shard       = flag.String("shard", "", `serve one shard of an n-way fleet partition, as "i/n" (e.g. 0/3); empty serves the whole inventory`)
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 		faultRate   = flag.Float64("faultrate", 0, "injected EC-source fault rate in [0,1] (chaos/testing; 0 disables)")
 		faultSeed   = flag.Int64("faultseed", 1, "fault-injection seed (with -faultrate)")
@@ -48,6 +50,7 @@ func main() {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	cfg := handlerConfig{
 		dataset: *dataset, seed: *seed, ttl: *ttl, cellM: *cell, workers: *workers,
+		shard:     *shard,
 		faultRate: *faultRate, faultSeed: *faultSeed,
 	}
 	if *traceP != "" {
@@ -138,9 +141,21 @@ type handlerConfig struct {
 	ttl       time.Duration
 	cellM     float64
 	workers   int
+	shard     string
 	faultRate float64
 	faultSeed int64
 	tracer    *obs.Tracer
+}
+
+// parseShard splits the "i/n" form of -shard.
+func parseShard(s string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want the form i/n", s)
+	}
+	if n <= 0 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-shard %q: index %d outside [0,%d)", s, i, n)
+	}
+	return i, n, nil
 }
 
 // newHandler assembles the scenario and returns the EIS routes plus a
@@ -152,8 +167,23 @@ func newHandler(cfg handlerConfig, logger *log.Logger) (http.Handler, string, er
 		return nil, "", fmt.Errorf("building scenario: %w", err)
 	}
 	env := sc.Env
+	if cfg.shard != "" {
+		// A fleet member serves only its rendezvous partition; ShardEnv keeps
+		// the parent normalizers so per-charger scores stay fleet-identical.
+		i, n, err := parseShard(cfg.shard)
+		if err != nil {
+			return nil, "", err
+		}
+		env, err = fleet.ShardEnv(env, i, n)
+		if err != nil {
+			return nil, "", err
+		}
+	}
 	desc := fmt.Sprintf("%s (%d chargers, %d road nodes)",
 		sc.Name, env.Chargers.Len(), sc.Graph.NumNodes())
+	if cfg.shard != "" {
+		desc += fmt.Sprintf(", shard %s", cfg.shard)
+	}
 	if cfg.faultRate > 0 {
 		// Degrade EC sources at the configured rate: tables keep coming,
 		// affected components carry the Degraded tag. The env copy keeps the

@@ -74,12 +74,23 @@ const (
 	DegradedL Degraded = 1 << CompL
 	DegradedA Degraded = 1 << CompA
 	DegradedD Degraded = 1 << CompD
+	// DegradedShard marks an entry whose owning fleet shard did not answer:
+	// the gateway synthesized it from the shard's last known inventory with
+	// every component at the ignorance bound, so the charger stays in the
+	// Offering Table instead of being silently pruned. It always rides with
+	// DegradedL|DegradedA|DegradedD — a shard outage degrades all three
+	// sources at once — and like them it is metadata: it never enters SC.
+	DegradedShard Degraded = 1 << 3
 )
+
+// DegradedAll is the fully widened mask a shard outage produces.
+const DegradedAll = DegradedL | DegradedA | DegradedD | DegradedShard
 
 // Has reports whether the component's bit is set.
 func (d Degraded) Has(c Component) bool { return d&(1<<c) != 0 }
 
-// String renders the set bits as "L|A|D" fragments; empty when none.
+// String renders the set bits as "L|A|D" fragments (plus "shard" for the
+// fleet bit); empty when none.
 func (d Degraded) String() string {
 	s := ""
 	for _, c := range [...]Component{CompL, CompA, CompD} {
@@ -89,6 +100,12 @@ func (d Degraded) String() string {
 			}
 			s += c.String()
 		}
+	}
+	if d&DegradedShard != 0 {
+		if s != "" {
+			s += "|"
+		}
+		s += "shard"
 	}
 	return s
 }

@@ -9,6 +9,9 @@
 //     normalized component L/A/D is inside [0,1];
 //   - a set Degraded bit carries the ignorance bound [0,1] on its component
 //     — degradation widens intervals, it never invents information;
+//   - the shard-degraded bit (an unreachable fleet partition) implies all
+//     three component bits: a shard outage takes every source with it, so a
+//     shard-tagged entry is fully widened;
 //   - entries are totally ordered best-first by SC midpoint with the
 //     documented tie-break chain (SC_max desc, SC_min desc, charger ID asc),
 //     which reads only the score interval — the Degraded bitmask can never
@@ -85,6 +88,10 @@ func checkScores(e cknn.Entry, i int) error {
 	if !(e.SC.Min <= e.SC.Max) || e.SC.Min < -eps || e.SC.Max > 1+eps {
 		return fmt.Errorf("entry %d (charger %d): SC [%v,%v] outside [0,1]",
 			i, e.Charger.ID, e.SC.Min, e.SC.Max)
+	}
+	if e.Comp.Degraded&cknn.DegradedShard != 0 && e.Comp.Degraded != cknn.DegradedAll {
+		return fmt.Errorf("entry %d (charger %d): shard-degraded mask %q is not fully widened",
+			i, e.Charger.ID, e.Comp.Degraded)
 	}
 	comps := [...]struct {
 		name     string

@@ -122,3 +122,52 @@ func (b *breaker) snapshot() breakerState {
 	defer b.mu.Unlock()
 	return b.state
 }
+
+// Breaker is the exported form of the circuit breaker so layers above the
+// EIS client can reuse the same state machine against their own failure
+// domains — the fleet gateway keys one per shard host, feeding it active
+// probe outcomes and passive per-request failures. It shares every
+// transition rule (and the transition metrics) with the per-endpoint
+// breakers inside Client.
+type Breaker struct {
+	b *breaker
+}
+
+// NewBreaker returns a breaker that opens after threshold consecutive
+// faults and admits a half-open probe once cooldown has elapsed, reading
+// time through now. Zero/nil arguments select the client defaults
+// (threshold 5, cooldown 5 s, time.Now).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	return &Breaker{b: newBreaker(threshold, cooldown, now)}
+}
+
+// Allow reports whether a request may proceed; ErrCircuitOpen means fail
+// fast. In the half-open state exactly one caller is admitted as the probe;
+// every Allow that returned nil must be followed by OnSuccess or OnFailure,
+// or the probe slot leaks and the breaker stays half-open.
+func (b *Breaker) Allow() error { return b.b.allow() }
+
+// OnSuccess records a fault-free exchange (closes the breaker).
+func (b *Breaker) OnSuccess() { b.b.onSuccess() }
+
+// OnFailure records a fault (the threshold-th opens the breaker; a failed
+// half-open probe re-opens it).
+func (b *Breaker) OnFailure() { b.b.onFailure() }
+
+// Open reports whether the breaker currently fails fast. It is a read-only
+// snapshot — unlike Allow it never consumes the half-open probe slot — so
+// health surfaces can poll it freely.
+func (b *Breaker) Open() bool { return b.b.snapshot() == breakerOpen }
+
+// State renders the current state for diagnostics: "closed", "open" or
+// "half-open".
+func (b *Breaker) State() string {
+	switch b.b.snapshot() {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,112 @@
+package eis
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerConcurrentHalfOpenProbe hammers one breaker from 16 goroutines
+// across the open→half-open transition on a fake clock and asserts the
+// admission contract: exactly one caller is admitted as the probe, everyone
+// else fails fast with ErrCircuitOpen, and the probe's outcome alone decides
+// the next state. Run under -race this also proves the transition itself is
+// race-clean.
+func TestBreakerConcurrentHalfOpenProbe(t *testing.T) {
+	var now atomic.Int64 // unix nanos, stepped explicitly
+	clock := func() time.Time { return time.Unix(0, now.Load()) }
+	b := NewBreaker(3, time.Second, clock)
+
+	// Open the breaker with threshold consecutive faults.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused request %d: %v", i, err)
+		}
+		b.OnFailure()
+	}
+	if !b.Open() {
+		t.Fatalf("breaker state %q after threshold faults, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker within cooldown admitted a request (err=%v)", err)
+	}
+
+	// Step past the cooldown, then race 16 goroutines into Allow. The
+	// barrier releases them together so the half-open transition itself is
+	// contended, not just the steady half-open state.
+	now.Add(int64(time.Second))
+	const goroutines = 16
+	var (
+		start    sync.WaitGroup
+		done     sync.WaitGroup
+		admitted atomic.Int64
+		refused  atomic.Int64
+	)
+	start.Add(1)
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			switch err := b.Allow(); {
+			case err == nil:
+				admitted.Add(1)
+			case errors.Is(err, ErrCircuitOpen):
+				refused.Add(1)
+			default:
+				t.Errorf("unexpected Allow error: %v", err)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	if admitted.Load() != 1 {
+		t.Fatalf("half-open transition admitted %d probes, want exactly 1", admitted.Load())
+	}
+	if refused.Load() != goroutines-1 {
+		t.Fatalf("%d goroutines refused, want %d", refused.Load(), goroutines-1)
+	}
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state %q while the probe is in flight, want half-open", got)
+	}
+
+	// A failed probe re-opens immediately; the next admission needs a fresh
+	// cooldown.
+	b.OnFailure()
+	if !b.Open() {
+		t.Fatalf("state %q after failed probe, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("re-opened breaker admitted a request before the cooldown (err=%v)", err)
+	}
+
+	// After another cooldown a successful probe closes the breaker for
+	// everyone — run the storm again to prove the closed state admits all.
+	now.Add(int64(time.Second))
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second half-open probe refused: %v", err)
+	}
+	b.OnSuccess()
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state %q after successful probe, want closed", got)
+	}
+	var open atomic.Int64
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer done.Done()
+			if err := b.Allow(); err != nil {
+				open.Add(1)
+			} else {
+				b.OnSuccess()
+			}
+		}()
+	}
+	done.Wait()
+	if open.Load() != 0 {
+		t.Fatalf("closed breaker refused %d of %d concurrent requests", open.Load(), goroutines)
+	}
+}

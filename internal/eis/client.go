@@ -253,13 +253,47 @@ func (c *Client) classifyStatus(req *http.Request, resp *http.Response, body []b
 	case http.StatusTooManyRequests, http.StatusBadGateway,
 		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		o := attemptOutcome{err: msg, retryable: true, fault: true}
-		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
-			o.retryAfter = time.Duration(s) * time.Second
+		if d, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), c.opts.Clock()); ok {
+			o.retryAfter = d
 		}
 		return o
 	default:
 		return attemptOutcome{err: msg}
 	}
+}
+
+// maxRetryAfter caps the delay a server can request through Retry-After: a
+// misconfigured (or adversarial) upstream cannot park a vehicle's retry
+// loop for an hour. The cap applies to both header forms.
+const maxRetryAfter = 30 * time.Second
+
+// ParseRetryAfter interprets a Retry-After header value per RFC 7231 §7.1.3:
+// either a non-negative integer delay in seconds or an HTTP-date after which
+// to retry. It returns the capped delay and whether the header asked for a
+// positive wait. Dates are evaluated against now; past dates mean "retry
+// whenever" and report false like a missing header.
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	var d time.Duration
+	if s, err := strconv.Atoi(v); err == nil {
+		if s <= 0 {
+			return 0, false
+		}
+		d = time.Duration(s) * time.Second
+	} else if at, err := http.ParseTime(v); err == nil {
+		d = at.Sub(now)
+		if d <= 0 {
+			return 0, false
+		}
+	} else {
+		return 0, false
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
 }
 
 // backoff computes the capped exponential delay for a retry with
@@ -333,6 +367,18 @@ func (c *Client) Chargers(ctx context.Context, p geo.Point, radiusM float64) ([]
 	q.Set("radius_m", fmt.Sprintf("%f", radiusM))
 	var out []charger.Charger
 	if err := c.get(ctx, "/chargers", q, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Inventory fetches the server's complete charger inventory — for a
+// sharded deployment, the partition the instance owns. The fleet gateway
+// pulls it alongside health probes so it can keep offering a dead shard's
+// chargers (at the ignorance bound) instead of silently dropping them.
+func (c *Client) Inventory(ctx context.Context) ([]charger.Charger, error) {
+	var out []charger.Charger
+	if err := c.get(ctx, "/inventory", nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -11,6 +11,7 @@ type eisMetrics struct {
 	// Per-endpoint request duration histograms (server side, measured
 	// around the handler including JSON encoding).
 	httpChargers     *obs.Histogram
+	httpInventory    *obs.Histogram
 	httpWeather      *obs.Histogram
 	httpAvailability *obs.Histogram
 	httpTraffic      *obs.Histogram
@@ -42,6 +43,7 @@ type eisMetrics struct {
 func newEISMetrics(r *obs.Registry) *eisMetrics {
 	return &eisMetrics{
 		httpChargers:     r.Histogram("eis_http_seconds_chargers", nil),
+		httpInventory:    r.Histogram("eis_http_seconds_inventory", nil),
 		httpWeather:      r.Histogram("eis_http_seconds_weather", nil),
 		httpAvailability: r.Histogram("eis_http_seconds_availability", nil),
 		httpTraffic:      r.Histogram("eis_http_seconds_traffic", nil),

@@ -42,6 +42,12 @@ type ServerOptions struct {
 	// Retry-After instead of holding the connection. 0 selects 15 s;
 	// negative disables the deadline.
 	RequestTimeout time.Duration
+	// ShedRetryAfter is the Retry-After delay stamped on shed (503)
+	// responses. An overloaded shard in a fleet raises it to push hedged
+	// gateway traffic toward its peers for longer instead of inviting an
+	// immediate re-hit. 0 selects 1 s; sub-second values round up to 1 s
+	// (the header carries whole seconds).
+	ShedRetryAfter time.Duration
 	// Clock is overridable for tests; nil selects time.Now.
 	Clock func() time.Time
 	// Logger for request errors; nil silences logging.
@@ -68,10 +74,23 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 15 * time.Second
 	}
+	if o.ShedRetryAfter <= 0 {
+		o.ShedRetryAfter = time.Second
+	}
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
 	return o
+}
+
+// retryAfterSeconds renders a shed delay as the whole-second header value,
+// rounding up so a positive delay never collapses to "0".
+func retryAfterSeconds(d time.Duration) string {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
 }
 
 // Server is the EcoCharge Information Server: it owns the environment and
@@ -286,6 +305,7 @@ func (s *Server) instrument(name string, hist *obs.Histogram, fn http.HandlerFun
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(APIVersion+"/chargers", s.instrument("eis.chargers", met.httpChargers, s.handleChargers))
+	mux.HandleFunc(APIVersion+"/inventory", s.instrument("eis.inventory", met.httpInventory, s.handleInventory))
 	mux.HandleFunc(APIVersion+"/weather", s.instrument("eis.weather", met.httpWeather, s.handleWeather))
 	mux.HandleFunc(APIVersion+"/availability", s.instrument("eis.availability", met.httpAvailability, s.handleAvailability))
 	mux.HandleFunc(APIVersion+"/traffic", s.instrument("eis.traffic", met.httpTraffic, s.handleTraffic))
@@ -368,6 +388,18 @@ func (s *Server) handleChargers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.env.Chargers.Within(p, radius))
+}
+
+// handleInventory returns the server's complete charger inventory. For a
+// sharded instance that is the owned partition; the fleet gateway caches it
+// per shard so unreachable partitions degrade to ignorance-bound entries
+// instead of disappearing from Offering Tables.
+func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, s.env.Chargers.All())
 }
 
 // handleWeather returns the production forecast of a charger at a time
@@ -510,7 +542,7 @@ func (s *Server) handleOffering(w http.ResponseWriter, r *http.Request) {
 		return out
 	})
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSeconds(s.opts.ShedRetryAfter))
 		s.writeError(w, http.StatusServiceUnavailable, "offering computation did not finish in time: %v", err)
 		return
 	}

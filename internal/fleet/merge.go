@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/eis"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/interval"
+)
+
+// This file is the k-way Offering-Table merge. It reimplements, on wire
+// entries, exactly the two orders cknn.Rank uses — selection by the SC_max
+// chain, emission by the SC-midpoint chain — so that at zero faults the
+// merged table over disjoint shard tables is byte-identical to a single EIS
+// over the whole inventory (property 2 of the package doc), and under shard
+// loss the table still satisfies tabletest's total order.
+
+// scMaxLess is cknn's maxKey chain on wire entries: SC_max descending, then
+// SC_min descending, then charger ID ascending.
+func scMaxLess(a, b eis.OfferingEntry) bool {
+	//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
+	if a.SC.Max != b.SC.Max {
+		return a.SC.Max > b.SC.Max
+	}
+	//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
+	if a.SC.Min != b.SC.Min {
+		return a.SC.Min > b.SC.Min
+	}
+	return a.ChargerID < b.ChargerID
+}
+
+// scMidLess is cknn's midKey chain on wire entries: SC midpoint descending,
+// then SC_max descending, then SC_min descending, then charger ID ascending.
+func scMidLess(a, b eis.OfferingEntry) bool {
+	am := (a.SC.Min + a.SC.Max) / 2
+	bm := (b.SC.Min + b.SC.Max) / 2
+	//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
+	if am != bm {
+		return am > bm
+	}
+	return scMaxLess(a, b)
+}
+
+// mergeEntries selects the top k of the pooled per-shard entries under the
+// SC_max chain and emits them in the SC-midpoint chain. Shard partitions
+// are disjoint, but a stale inventory after a repartition could collide a
+// synthesized entry with a live one; the live entry (no shard bit) wins.
+func mergeEntries(pool []eis.OfferingEntry, k int) []eis.OfferingEntry {
+	if k <= 0 || len(pool) == 0 {
+		return nil
+	}
+	byID := make(map[int64]int, len(pool))
+	deduped := pool[:0:0]
+	for _, e := range pool {
+		if j, dup := byID[e.ChargerID]; dup {
+			if deduped[j].Degraded&uint8(cknn.DegradedShard) != 0 && e.Degraded&uint8(cknn.DegradedShard) == 0 {
+				deduped[j] = e
+			}
+			continue
+		}
+		byID[e.ChargerID] = len(deduped)
+		deduped = append(deduped, e)
+	}
+	sort.Slice(deduped, func(i, j int) bool { return scMaxLess(deduped[i], deduped[j]) })
+	if k < len(deduped) {
+		deduped = deduped[:k]
+	}
+	sort.Slice(deduped, func(i, j int) bool { return scMidLess(deduped[i], deduped[j]) })
+	return deduped
+}
+
+// ignoranceWire is the wire form of the [0,1] ignorance bound.
+func ignoranceWire() eis.IntervalJSON { return eis.IntervalJSON{Min: 0, Max: 1} }
+
+// synthEntry builds the entry the gateway offers for a charger whose shard
+// did not answer: every component at the ignorance bound, SC through the
+// real scoring path, the full DegradedAll mask, and a zero ETA (the gateway
+// holds no road graph, so "unknown" is the honest value).
+func synthEntry(c charger.Charger, w cknn.Weights) eis.OfferingEntry {
+	ig := interval.New(0, 1)
+	sc := cknn.Components{L: ig, A: ig, D: ig}.SC(w)
+	return eis.OfferingEntry{
+		ChargerID: c.ID,
+		Lat:       c.P.Lat,
+		Lon:       c.P.Lon,
+		RateKW:    c.Rate.KW(),
+		SC:        eis.IntervalJSON{Min: sc.Min, Max: sc.Max},
+		L:         ignoranceWire(),
+		A:         ignoranceWire(),
+		D:         ignoranceWire(),
+		Degraded:  uint8(cknn.DegradedAll),
+	}
+}
+
+// synthWithin synthesizes ignorance-bound entries for the inventory
+// chargers within the query radius, using the same predicate as the shards'
+// spatial index (geodesic distance, inclusive bound).
+func synthWithin(inv []charger.Charger, p geo.Point, radiusM float64, w cknn.Weights) []eis.OfferingEntry {
+	var out []eis.OfferingEntry
+	for _, c := range inv {
+		if geo.Distance(p, c.P) <= radiusM {
+			out = append(out, synthEntry(c, w))
+		}
+	}
+	return out
+}
+
+// mergeOffering combines the live shard tables (ordered by shard index) and
+// the synthesized entries of the dead shards into one response. Cached is
+// the conjunction of the live flags — the merged table is "cached" only if
+// every contributing shard served from its cache; GeneratedAt comes from
+// the lowest-index live shard (all shards agree when the request pins Now).
+func mergeOffering(live []eis.OfferingResponse, synth []eis.OfferingEntry, k int) eis.OfferingResponse {
+	out := eis.OfferingResponse{Cached: len(live) > 0}
+	var pool []eis.OfferingEntry
+	for i, t := range live {
+		if i == 0 {
+			out.GeneratedAt = t.GeneratedAt
+		}
+		out.Cached = out.Cached && t.Cached
+		pool = append(pool, t.Entries...)
+	}
+	pool = append(pool, synth...)
+	out.Entries = mergeEntries(pool, k)
+	return out
+}
+
+// mergeTrips combines per-shard trip evaluations. All shards share the road
+// graph, so the segment skeletons (index, anchor, ETA, length) must agree;
+// a mismatch means a shard answered for a different trip and is a merge
+// error, not something to paper over. synthAt, when non-nil, supplies the
+// dead shards' entries for a segment anchor. SplitPoints are recomputed
+// from the merged tables with the server's own change-point rule.
+func mergeTrips(live []eis.TripOfferingResponse, synthAt func(anchor geo.Point) []eis.OfferingEntry, k int) (eis.TripOfferingResponse, error) {
+	if len(live) == 0 {
+		return eis.TripOfferingResponse{}, fmt.Errorf("fleet: no live shard response to merge")
+	}
+	base := live[0]
+	for _, r := range live[1:] {
+		if len(r.Segments) != len(base.Segments) {
+			return eis.TripOfferingResponse{}, fmt.Errorf("fleet: shard trip skeletons disagree: %d vs %d segments", len(base.Segments), len(r.Segments))
+		}
+	}
+	out := eis.TripOfferingResponse{TripLengthM: base.TripLengthM}
+	var prev []int64
+	for si := range base.Segments {
+		bs := base.Segments[si]
+		seg := eis.SegmentOffering{
+			SegmentIndex: bs.SegmentIndex,
+			Anchor:       bs.Anchor,
+			ETA:          bs.ETA,
+			LengthM:      bs.LengthM,
+			Adapted:      true,
+		}
+		var pool []eis.OfferingEntry
+		for _, r := range live {
+			s := r.Segments[si]
+			if s.SegmentIndex != bs.SegmentIndex {
+				return eis.TripOfferingResponse{}, fmt.Errorf("fleet: segment %d: shard skeletons disagree on index (%d vs %d)", si, bs.SegmentIndex, s.SegmentIndex)
+			}
+			seg.Adapted = seg.Adapted && s.Adapted
+			pool = append(pool, s.Entries...)
+		}
+		if synthAt != nil {
+			pool = append(pool, synthAt(geo.Point{Lat: bs.Anchor.Lat, Lon: bs.Anchor.Lon})...)
+		}
+		seg.Entries = mergeEntries(pool, k)
+		ids := entryIDs(seg.Entries)
+		if len(out.Segments) == 0 || !sameIDs(prev, ids) {
+			out.SplitPoints = append(out.SplitPoints, seg.SegmentIndex)
+			prev = ids
+		}
+		out.Segments = append(out.Segments, seg)
+	}
+	return out, nil
+}
+
+func entryIDs(es []eis.OfferingEntry) []int64 {
+	out := make([]int64, len(es))
+	for i, e := range es {
+		out[i] = e.ChargerID
+	}
+	return out
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeChargers pools per-shard radius results (plus dead-shard inventory
+// matches) into the single-EIS order: geodesic distance ascending, ties by
+// charger ID.
+func mergeChargers(lists [][]charger.Charger, p geo.Point) []charger.Charger {
+	out := make([]charger.Charger, 0)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := geo.Distance(p, out[i].P), geo.Distance(p, out[j].P)
+		//ecolint:ignore floateq sort comparator: tolerance would break strict weak ordering
+		if di != dj {
+			return di < dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -34,7 +34,7 @@ var CtxFlow = &Analyzer{
 
 // ctxLoopPackages are the server/worker packages where every unbounded
 // loop must be cancellable (rule 2).
-var ctxLoopPackages = []string{"internal/eis", "internal/cknn", "internal/experiment"}
+var ctxLoopPackages = []string{"internal/eis", "internal/cknn", "internal/experiment", "internal/fleet"}
 
 func runCtxFlow(p *Pass) {
 	loopScope := strings.Contains(p.Pkg.ImportPath, "cmd/")

@@ -29,7 +29,7 @@ var LockHeld = &Analyzer{
 	Run:  runLockHeld,
 }
 
-var lockHeldPackages = []string{"internal/cknn", "internal/eis", "internal/roadnet"}
+var lockHeldPackages = []string{"internal/cknn", "internal/eis", "internal/roadnet", "internal/fleet"}
 
 func runLockHeld(p *Pass) {
 	inScope := false
