@@ -49,6 +49,9 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzJSONRoundTrip -fuzztime=10s ./internal/charger/
 	$(GO) test -run='^$$' -fuzz=FuzzCSVRoundTrip -fuzztime=10s ./internal/charger/
 	$(GO) test -run='^$$' -fuzz=FuzzExpandToMany -fuzztime=10s ./internal/roadnet/
+	$(GO) test -run='^$$' -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzOfferingJSONRoundTrip -fuzztime=10s ./internal/wire/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -60,14 +63,20 @@ bench-smoke:
 	$(GO) run ./cmd/ecobench -fig 6 -dataset Oldenburg -scale 0.0005 -reps 1 -trips 1 -json bench-smoke.json
 	$(GO) test -run='^$$' -bench=BenchmarkObsOverhead -benchtime=20x ./internal/cknn
 	$(GO) test -run='^$$' -bench=BenchmarkManyToMany -benchtime=10x ./internal/roadnet
+	$(GO) test -run='^$$' -bench=BenchmarkWireCodec -benchtime=100x ./internal/wire
+	$(GO) test -run='^$$' -bench=BenchmarkServeEncode -benchtime=20x ./internal/eis
 
 # Re-run the seed benchmark configuration and diff ft_ms per method against
 # the committed BENCH_seed.json baseline (see docs/perf.md). Fails on any
 # method regressing >10% beyond the sub-ms noise floor. The delta table is
-# written to bench-diff.txt for CI artifact upload.
+# written to bench-diff.txt for CI artifact upload. The second pair gates
+# the HTTP serve path the same way against BENCH_pr9.json (Mode 2 per
+# content type; wider slack because one round trip includes real HTTP).
 bench-diff:
 	$(GO) run ./cmd/ecobench -fig 6 -dataset Oldenburg -workers 1 -json bench-current.json
 	$(GO) run ./cmd/benchdiff -seed BENCH_seed.json -current bench-current.json -report bench-diff.txt
+	$(GO) run ./cmd/ecobench -fig serve -dataset Oldenburg -workers 1 -wire -json bench-serve.json
+	$(GO) run ./cmd/benchdiff -seed BENCH_pr9.json -current bench-serve.json -slack-ms 1.0 -report bench-serve-diff.txt
 
 # Coverage gate: aggregate statement coverage across every package against a
 # ratcheted floor — raise it when coverage improves, never lower it. The
@@ -96,4 +105,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt bench-smoke.json bench-current.json bench-diff.txt cover.out
+	rm -f test_output.txt bench_output.txt bench-smoke.json bench-current.json bench-diff.txt bench-serve.json bench-serve-diff.txt cover.out

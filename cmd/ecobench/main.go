@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, design, horizon or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, design, horizon, serve or all (serve is HTTP-level and excluded from all)")
 		scale     = flag.Float64("scale", 0.002, "trip-count scale relative to the paper's full datasets")
 		seed      = flag.Int64("seed", 42, "scenario seed")
 		reps      = flag.Int("reps", 5, "measurement repetitions (paper: ~10)")
@@ -42,6 +42,7 @@ func main() {
 		commit    = flag.String("commit", "", "commit hash recorded in the JSON export (default: build info)")
 		faultRate = flag.Float64("faultrate", 0, "deterministic EC-source fault rate in [0,1] (0 = no injection)")
 		faultSeed = flag.Int64("faultseed", 1, "fault-injection PRNG seed (independent of -seed)")
+		wireFmt   = flag.Bool("wire", false, "serve figure: also drive Mode 2 over the compact binary wire format")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (see docs/perf.md)")
 		memProf   = flag.String("memprofile", "", "write a post-run heap profile to this file (see docs/perf.md)")
 	)
@@ -55,7 +56,7 @@ func main() {
 	opts := runOpts{
 		fig: *fig, dataset: *dataset, scale: *scale, seed: *seed,
 		cfg: cfg, csvPath: *csvP, jsonPath: *jsonP, commit: *commit,
-		faultRate: *faultRate, faultSeed: *faultSeed,
+		faultRate: *faultRate, faultSeed: *faultSeed, wire: *wireFmt,
 	}
 	err := withProfiles(*cpuProf, *memProf, func() error {
 		return run(context.Background(), opts)
@@ -109,6 +110,7 @@ type runOpts struct {
 	commit    string
 	faultRate float64
 	faultSeed int64
+	wire      bool
 }
 
 // benchRow is one machine-readable benchmark record of the -json export:
@@ -125,6 +127,12 @@ type benchRow struct {
 	FaultRate float64 `json:"fault_rate"`
 	SCPct     float64 `json:"sc_pct"`
 	FtMs      float64 `json:"ft_ms"`
+	// Encode micro-benchmark of the row's content type (serve figure only):
+	// the marshal share of one response in ns, heap bytes, and allocations
+	// per operation.
+	EncNsOp     float64 `json:"enc_ns_op,omitempty"`
+	EncBOp      float64 `json:"enc_b_op,omitempty"`
+	EncAllocsOp float64 `json:"enc_allocs_op,omitempty"`
 	// Obs is the registry delta of this figure×dataset run (cache traffic,
 	// prune counts, pool stats, ...); rows of the same run share it because
 	// methods execute interleaved within one scenario pass. benchdiff
@@ -199,7 +207,7 @@ func figures() []figureSpec {
 }
 
 func run(ctx context.Context, o runOpts) error {
-	valid := false
+	valid := o.fig == "serve"
 	for _, spec := range figures() {
 		if o.fig == "all" || o.fig == spec.id {
 			valid = true
@@ -207,7 +215,7 @@ func run(ctx context.Context, o runOpts) error {
 	}
 	if !valid {
 		return fmt.Errorf("unknown figure %q (want one of %s)", o.fig,
-			strings.Join([]string{"6", "7", "8", "9", "design", "horizon", "all"}, ", "))
+			strings.Join([]string{"6", "7", "8", "9", "design", "horizon", "serve", "all"}, ", "))
 	}
 
 	var scenarios []*experiment.Scenario
@@ -246,6 +254,13 @@ func run(ctx context.Context, o runOpts) error {
 
 	var exported []experiment.Measurement
 	var rows []benchRow
+	if o.fig == "serve" {
+		serveRows, err := runServeFig(ctx, scenarios, o)
+		if err != nil {
+			return err
+		}
+		return exportResults(o, nil, serveRows)
+	}
 	commit := resolveCommit(o.commit)
 	workers := o.cfg.Workers
 	if workers <= 0 {
@@ -288,7 +303,14 @@ func run(ctx context.Context, o runOpts) error {
 		}
 	}
 
-	if o.csvPath != "" {
+	return exportResults(o, exported, rows)
+}
+
+// exportResults writes the optional CSV and JSON artifacts. The serve
+// figure has no Measurement rows (its unit is an HTTP round trip, not a
+// ranking pass), so the CSV export only applies when measurements exist.
+func exportResults(o runOpts, exported []experiment.Measurement, rows []benchRow) error {
+	if o.csvPath != "" && len(exported) > 0 {
 		f, err := os.Create(o.csvPath)
 		if err != nil {
 			return err

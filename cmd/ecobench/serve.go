@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"text/tabwriter"
+	"time"
+
+	"ecocharge/internal/eis"
+	"ecocharge/internal/experiment"
+	"ecocharge/internal/wire"
+)
+
+// servePlane is one content-type lane of the serve figure.
+type servePlane struct {
+	method string
+	wire   bool
+}
+
+// runServeFig measures the Mode 2 serve path end to end — client encode,
+// HTTP, server decode, rank, encode, client decode — once per negotiated
+// content type, plus a micro-benchmark of the response encode alone so the
+// JSON rows carry ns/op, bytes/op, and allocs/op for the marshal share.
+// Each lane gets its own server so both start with a cold dynamic cache and
+// see the identical anchor sequence.
+func runServeFig(ctx context.Context, scenarios []*experiment.Scenario, o runOpts) ([]benchRow, error) {
+	planes := []servePlane{{method: "mode2-json", wire: false}}
+	if o.wire {
+		planes = append(planes, servePlane{method: "mode2-wire", wire: true})
+	}
+	commit := resolveCommit(o.commit)
+	workers := o.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	fmt.Println("Serve — Mode 2 over HTTP (per negotiated content type)")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	_, _ = fmt.Fprintln(tw, "dataset\tmethod\trt_ms\tenc_ns/op\tenc_B/op\tenc_allocs/op")
+
+	var rows []benchRow
+	for _, sc := range scenarios {
+		for _, plane := range planes {
+			row, err := runServePlane(ctx, sc, o, plane)
+			if err != nil {
+				return nil, err
+			}
+			row.Commit, row.GOOS, row.Workers = commit, runtime.GOOS, workers
+			_, _ = fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.0f\t%.0f\t%.0f\n",
+				row.Dataset, row.Method, row.FtMs, row.EncNsOp, row.EncBOp, row.EncAllocsOp)
+			rows = append(rows, row)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	fmt.Println()
+	return rows, nil
+}
+
+func runServePlane(ctx context.Context, sc *experiment.Scenario, o runOpts, plane servePlane) (benchRow, error) {
+	srv := httptest.NewServer(eis.NewServer(sc.Env, eis.ServerOptions{}).Handler())
+	defer srv.Close()
+	client := eis.NewClientOpts(srv.URL, eis.ClientOptions{HTTPClient: srv.Client(), Wire: plane.wire})
+
+	anchors := sc.Env.Chargers.All()
+	stride := len(anchors)/o.cfg.TripsPerRep + 1
+	now := time.Now()
+	var sample eis.OfferingResponse
+	var total time.Duration
+	n := 0
+	// Repetition 0 computes fresh tables; later repetitions replay the same
+	// anchors, so the mean mixes compute and cache-hit serving the way a
+	// steady-state fleet does.
+	for rep := 0; rep < o.cfg.Repetitions; rep++ {
+		for i := 0; i < len(anchors); i += stride {
+			req := eis.OfferingRequest{
+				Lat: anchors[i].P.Lat, Lon: anchors[i].P.Lon,
+				K: o.cfg.K, Now: now,
+			}
+			start := time.Now()
+			resp, err := client.Offering(ctx, req)
+			if err != nil {
+				return benchRow{}, fmt.Errorf("serve %s/%s: %w", sc.Name, plane.method, err)
+			}
+			total += time.Since(start)
+			n++
+			if len(resp.Entries) > len(sample.Entries) {
+				sample = resp
+			}
+		}
+	}
+	if n == 0 {
+		return benchRow{}, fmt.Errorf("serve %s: no anchors to query", sc.Name)
+	}
+
+	// Marshal share of the lane, on the largest table the run produced.
+	var enc testing.BenchmarkResult
+	if plane.wire {
+		enc = testing.Benchmark(func(b *testing.B) {
+			buf := make([]byte, 0, 1<<16)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = wire.AppendOfferingResponse(buf[:0], &sample)
+			}
+		})
+	} else {
+		enc = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := json.Marshal(&sample); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	return benchRow{
+		Fig: "serve", Dataset: sc.Name, Method: plane.method,
+		FaultRate:   o.faultRate,
+		FtMs:        total.Seconds() * 1000 / float64(n),
+		EncNsOp:     float64(enc.NsPerOp()),
+		EncBOp:      float64(enc.AllocedBytesPerOp()),
+		EncAllocsOp: float64(enc.AllocsPerOp()),
+	}, nil
+}

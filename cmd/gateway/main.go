@@ -43,6 +43,7 @@ func main() {
 		threshold = flag.Int("breaker-threshold", 5, "consecutive shard faults that open its breaker")
 		cooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open time before a shard breaker admits its half-open trial")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+		wireFmt   = flag.Bool("wire", true, "negotiate the compact binary format on shard exchanges (shards without the codec keep answering JSON)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 		BreakerThreshold: *threshold,
 		BreakerCooldown:  *cooldown,
 		Logger:           logger,
+		WireShards:       *wireFmt,
 	})
 	if err != nil {
 		logger.Fatalf("gateway: %v", err)

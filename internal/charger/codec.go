@@ -118,6 +118,11 @@ func parseCSVRecord(rec []string) (Charger, error) {
 	return c, nil
 }
 
+// RateFromKW maps a nominal kW back to the nearest rate class. The binary
+// wire codec (internal/wire) uses it so both interchange formats recover
+// the class identically.
+func RateFromKW(kw float64) RateClass { return rateFromKW(kw) }
+
 // rateFromKW maps a nominal kW back to the nearest rate class.
 func rateFromKW(kw float64) RateClass {
 	best, bestDiff := RateAC11, 1e18

@@ -15,6 +15,7 @@ import (
 	"ecocharge/internal/charger"
 	"ecocharge/internal/geo"
 	"ecocharge/internal/obs"
+	"ecocharge/internal/wire"
 )
 
 // maxResponseBytes bounds how much of a response body the client reads: a
@@ -55,6 +56,11 @@ type ClientOptions struct {
 	// per attempt, and stamps the attempt's span context onto the outgoing
 	// headers so the server joins the same trace. Nil disables tracing.
 	Tracer *obs.Tracer
+	// Wire negotiates the binary interchange format of internal/wire: every
+	// request advertises it via Accept (and Mode 2 Offering bodies are
+	// POSTed binary), while responses are decoded by their Content-Type — a
+	// server without the codec keeps answering JSON and nothing breaks.
+	Wire bool
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -128,16 +134,29 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, out int
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("eis client: encoding request: %w", err)
+	ct := ctJSON
+	var data []byte
+	var buf *wire.Buffer
+	if wreq, ok := body.(*OfferingRequest); ok && c.opts.Wire {
+		buf = wire.GetBuffer()
+		buf.B = wire.AppendOfferingRequest(buf.B, wreq)
+		data, ct = buf.B, wire.ContentType
+	} else {
+		var err error
+		data, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("eis client: encoding request: %w", err)
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+APIVersion+path, bytes.NewReader(data))
 	if err != nil {
+		wire.PutBuffer(buf)
 		return fmt.Errorf("eis client: building request: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	req.Header.Set("Content-Type", ct)
+	err = c.do(req, out)
+	wire.PutBuffer(buf) // nil-safe; the body was fully sent by now
+	return err
 }
 
 // attemptOutcome classifies one exchange for the retry loop and the
@@ -156,6 +175,12 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 	retries := 0
 	if req.Method == http.MethodGet {
 		retries = c.opts.MaxRetries
+	}
+	if c.opts.Wire {
+		// Advertise the binary format everywhere; the server answers binary
+		// only for payloads its codec covers, so JSON-only endpoints (and
+		// pre-codec servers) keep working unchanged.
+		req.Header.Set("Accept", wire.ContentType)
 	}
 	// One root span covers the whole logical request: every retry attempt
 	// below becomes a child of it, so a retried exchange still reads as one
@@ -210,8 +235,12 @@ func (c *Client) attempt(req *http.Request, out interface{}) attemptOutcome {
 		}
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
-	if err != nil {
+	// The body is read into a pooled buffer (every decoder below copies out
+	// of it, so releasing on return is safe); the old ReadAll grew a fresh
+	// slice through O(log n) copies on every exchange.
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	if err := buf.ReadLimit(resp.Body, maxResponseBytes); err != nil {
 		// The exchange died mid-body (connection reset, context cancelled).
 		return attemptOutcome{
 			err:       fmt.Errorf("eis client: reading response: %w", err),
@@ -219,6 +248,7 @@ func (c *Client) attempt(req *http.Request, out interface{}) attemptOutcome {
 			fault:     true,
 		}
 	}
+	body := buf.B
 	if len(body) > maxResponseBytes {
 		// Oversized responses are truncated by policy, never buffered; the
 		// server is misbehaving, not unreachable, so this is terminal.
@@ -230,6 +260,12 @@ func (c *Client) attempt(req *http.Request, out interface{}) attemptOutcome {
 		return c.classifyStatus(req, resp, body)
 	}
 	if out == nil {
+		return attemptOutcome{}
+	}
+	if wire.IsWire(resp.Header.Get("Content-Type")) {
+		if err := wire.DecodeInto(body, out); err != nil {
+			return attemptOutcome{err: fmt.Errorf("eis client: decoding response: %w", err)}
+		}
 		return attemptOutcome{}
 	}
 	if err := json.Unmarshal(body, out); err != nil {
@@ -416,7 +452,7 @@ func (c *Client) Traffic(ctx context.Context, t time.Time) (TrafficResponse, err
 // Offering requests a server-computed Offering Table (Mode 2).
 func (c *Client) Offering(ctx context.Context, req OfferingRequest) (OfferingResponse, error) {
 	var out OfferingResponse
-	err := c.post(ctx, "/offering", req, &out)
+	err := c.post(ctx, "/offering", &req, &out)
 	return out, err
 }
 

@@ -26,6 +26,17 @@ type eisMetrics struct {
 	rescacheEvictions *obs.Counter // capacity evictions of live entries
 	rescacheEntries   *obs.Gauge   // current occupancy across all shards
 
+	// Per-format response marshalling on the negotiated endpoints: the
+	// histograms isolate the encode share of serving latency, the counters
+	// track format adoption. Cache hits serve pre-encoded bytes and count
+	// under the response counters only (no encode happens).
+	encodeJSON *obs.Histogram
+	encodeWire *obs.Histogram
+	respJSON   *obs.Counter
+	respWire   *obs.Counter
+	// Binary-encoded request bodies accepted on POST endpoints.
+	reqWire *obs.Counter
+
 	// Single-flight offering computation: leaders run the ranking engine,
 	// coalesced followers wait for the leader's table.
 	flightLeads     *obs.Counter
@@ -56,6 +67,12 @@ func newEISMetrics(r *obs.Registry) *eisMetrics {
 		rescacheExpired:   r.Counter("eis_rescache_expired_total"),
 		rescacheEvictions: r.Counter("eis_rescache_evictions_total"),
 		rescacheEntries:   r.Gauge("eis_rescache_entries"),
+
+		encodeJSON: r.Histogram("eis_encode_seconds_json", nil),
+		encodeWire: r.Histogram("eis_encode_seconds_wire", nil),
+		respJSON:   r.Counter("eis_responses_json_total"),
+		respWire:   r.Counter("eis_responses_wire_total"),
+		reqWire:    r.Counter("eis_requests_wire_total"),
 
 		flightLeads:     r.Counter("eis_singleflight_leads_total"),
 		flightCoalesced: r.Counter("eis_singleflight_coalesced_total"),

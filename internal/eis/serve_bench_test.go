@@ -1,0 +1,88 @@
+package eis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ecocharge/internal/wire"
+)
+
+// BenchmarkServeEncode measures the full in-process serve path — route,
+// handle, encode, write — for the hot payloads in both content types. The
+// json/wire pairs are the PR 9 regression surface: the binary plane must
+// stay well ahead of JSON on both ns/op and B/op.
+func BenchmarkServeEncode(b *testing.B) {
+	env := testEnv(b)
+	srv := NewServer(env, ServerOptions{Clock: func() time.Time { return fixedNow }})
+	handler := srv.Handler()
+	center := env.Graph.Bounds().Center()
+
+	serve := func(b *testing.B, req *http.Request) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %.200s", rec.Code, rec.Body.Bytes())
+			}
+		}
+	}
+
+	chargersURL := fmt.Sprintf("%s/chargers?lat=%v&lon=%v&radius_m=5000", APIVersion, center.Lat, center.Lon)
+	b.Run("chargers/json", func(b *testing.B) {
+		serve(b, httptest.NewRequest(http.MethodGet, chargersURL, nil))
+	})
+	b.Run("chargers/wire", func(b *testing.B) {
+		req := httptest.NewRequest(http.MethodGet, chargersURL, nil)
+		req.Header.Set("Accept", wire.ContentType)
+		serve(b, req)
+	})
+
+	oreq := OfferingRequest{Lat: center.Lat, Lon: center.Lon, K: 8, Now: fixedNow}
+	jsonBody, err := json.Marshal(oreq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wireBody := wire.AppendOfferingRequest(nil, &oreq)
+
+	// Warm the dynamic cache once so the sub-benchmarks measure the steady
+	// state: decode request, cache hit, write the pre-encoded body.
+	warm := httptest.NewRequest(http.MethodPost, APIVersion+"/offering", bytes.NewReader(jsonBody))
+	warm.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("cache warm-up: status %d: %.200s", rec.Code, rec.Body.Bytes())
+	}
+
+	servePost := func(b *testing.B, body []byte, contentType, accept string) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, APIVersion+"/offering", bytes.NewReader(body))
+			req.Header.Set("Content-Type", contentType)
+			if accept != "" {
+				req.Header.Set("Accept", accept)
+			}
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %.200s", rec.Code, rec.Body.Bytes())
+			}
+		}
+	}
+	b.Run("offering-cached/json", func(b *testing.B) {
+		servePost(b, jsonBody, "application/json", "")
+	})
+	b.Run("offering-cached/wire", func(b *testing.B) {
+		servePost(b, wireBody, wire.ContentType, wire.ContentType)
+	})
+}

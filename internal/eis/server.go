@@ -1,6 +1,7 @@
 package eis
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"ecocharge/internal/geo"
 	"ecocharge/internal/obs"
 	"ecocharge/internal/roadnet"
+	"ecocharge/internal/wire"
 )
 
 // ServerOptions configure the EIS.
@@ -114,9 +116,16 @@ type cacheKey struct {
 	weights          WeightsJSON
 }
 
+// cacheVal is one cached Offering Table, pre-encoded in both interchange
+// formats at insertion time (with Cached=true, the flag every hit carries):
+// encode once, write many. Hits serve the stored bytes with Content-Length
+// and never re-marshal. The byte slices are immutable after put, so shards
+// hand them out without copying.
 type cacheVal struct {
-	resp    OfferingResponse
-	expires time.Time
+	resp     OfferingResponse
+	jsonBody []byte
+	wireBody []byte
+	expires  time.Time
 }
 
 // respCacheStripes is the shard count of the response cache: enough to keep
@@ -166,27 +175,40 @@ func (c *respCache) shard(key cacheKey) *respShard {
 	return &c.shards[h%respCacheStripes]
 }
 
-func (c *respCache) get(key cacheKey, now time.Time) (OfferingResponse, bool) {
+func (c *respCache) get(key cacheKey, now time.Time) (cacheVal, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v, ok := s.m[key]
 	if !ok {
 		met.rescacheMisses.Inc()
-		return OfferingResponse{}, false
+		return cacheVal{}, false
 	}
 	if now.After(v.expires) {
 		delete(s.m, key) // lazy expiry: reclaim on touch
 		met.rescacheExpired.Inc()
 		met.rescacheEntries.Dec()
 		met.rescacheMisses.Inc()
-		return OfferingResponse{}, false
+		return cacheVal{}, false
 	}
 	met.rescacheHits.Inc()
-	return v.resp, true
+	return v, true
 }
 
 func (c *respCache) put(key cacheKey, resp OfferingResponse, now, expires time.Time) {
+	// Pre-encode both formats once, outside the shard lock. Every hit is
+	// served as Cached=true, so the stored bytes carry the flag; the JSON
+	// body keeps the trailing newline json.Encoder emits so cached and
+	// freshly-encoded responses stay byte-identical.
+	hit := resp
+	hit.Cached = true
+	jsonBody, err := json.Marshal(&hit)
+	if err != nil {
+		return // unencodable tables are not cacheable; the miss path reports it
+	}
+	jsonBody = append(jsonBody, '\n')
+	wireBody := wire.AppendOfferingResponse(nil, &hit)
+
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -207,7 +229,7 @@ func (c *respCache) put(key cacheKey, resp OfferingResponse, now, expires time.T
 	if !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
 		s.evictOldestLocked()
 	}
-	s.m[key] = cacheVal{resp: resp, expires: expires}
+	s.m[key] = cacheVal{resp: resp, jsonBody: jsonBody, wireBody: wireBody, expires: expires}
 	if !exists {
 		met.rescacheEntries.Inc()
 	}
@@ -326,14 +348,95 @@ func (s *Server) writeError(w http.ResponseWriter, code int, format string, args
 	if s.opts.Logger != nil {
 		s.opts.Logger.Printf("eis: %d %s", code, msg)
 	}
-	w.Header().Set("Content-Type", "application/json")
+	// Errors are always JSON, even on requests that negotiated binary:
+	// failure bodies are cold and must stay curl-readable.
+	writeJSONStatus(w, code, ErrorResponse{Error: msg})
+}
+
+// ctJSON is the canonical interchange format; wire.ContentType is the
+// negotiated binary alternative for the hot-path payloads.
+const ctJSON = "application/json"
+
+// errEncodeBody is the fallback 500 body when marshalling a response fails —
+// possible only for marshaler-bearing payloads, but the old streaming
+// encoder turned it into a silently truncated 200.
+var errEncodeBody = []byte(`{"error":"encoding response"}` + "\n")
+
+// jsonBufs pools the JSON encode buffers so steady-state serving reuses one
+// buffer per in-flight response instead of growing a fresh one per call.
+var jsonBufs = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// maxPooledJSONBuf caps the capacity a buffer may keep when returned: one
+// huge inventory response must not pin megabytes in the pool forever.
+const maxPooledJSONBuf = 1 << 22
+
+func getJSONBuf() *bytes.Buffer {
+	b := jsonBufs.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putJSONBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledJSONBuf {
+		jsonBufs.Put(b)
+	}
+}
+
+// writeBody writes one fully-encoded response. Content-Length is known
+// before the first byte hits the socket, so an encode failure can never
+// truncate a 200 mid-body the way the per-call streaming encoder could.
+func writeBody(w http.ResponseWriter, code int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+	_, _ = w.Write(body) // client went away; nothing to do with the error
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v interface{}) {
+	buf := getJSONBuf()
+	defer putJSONBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		writeBody(w, http.StatusInternalServerError, ctJSON, errEncodeBody)
+		return
+	}
+	writeBody(w, code, ctJSON, buf.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// wantsWire reports whether the request negotiated the binary response
+// format.
+func wantsWire(r *http.Request) bool { return wire.Accepts(r.Header.Get("Accept")) }
+
+// respond writes v in the request's negotiated format: enc appends the
+// binary message for payloads the wire codec covers, JSON stays the default
+// (and the only format where enc is nil). The per-format histograms measure
+// exactly the marshal share of serving latency.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, v interface{}, enc func([]byte) []byte) {
+	if enc != nil && wantsWire(r) {
+		buf := wire.GetBuffer()
+		start := time.Now()
+		buf.B = enc(buf.B)
+		met.encodeWire.Since(start)
+		met.respWire.Inc()
+		writeBody(w, http.StatusOK, wire.ContentType, buf.B)
+		wire.PutBuffer(buf)
+		return
+	}
+	buf := getJSONBuf()
+	start := time.Now()
+	err := json.NewEncoder(buf).Encode(v)
+	met.encodeJSON.Since(start)
+	if err != nil {
+		putJSONBuf(buf)
+		writeBody(w, http.StatusInternalServerError, ctJSON, errEncodeBody)
+		return
+	}
+	met.respJSON.Inc()
+	writeBody(w, http.StatusOK, ctJSON, buf.Bytes())
+	putJSONBuf(buf)
 }
 
 func parseFloat(r *http.Request, name string) (float64, error) {
@@ -387,7 +490,8 @@ func (s *Server) handleChargers(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "invalid location or radius")
 		return
 	}
-	writeJSON(w, s.env.Chargers.Within(p, radius))
+	cs := s.env.Chargers.Within(p, radius)
+	s.respond(w, r, cs, func(b []byte) []byte { return wire.AppendChargerRefs(b, cs) })
 }
 
 // handleInventory returns the server's complete charger inventory. For a
@@ -399,7 +503,8 @@ func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, s.env.Chargers.All())
+	cs := s.env.Chargers.All()
+	s.respond(w, r, cs, func(b []byte) []byte { return wire.AppendChargers(b, cs) })
 }
 
 // handleWeather returns the production forecast of a charger at a time
@@ -410,7 +515,8 @@ func (s *Server) handleWeather(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	iv := s.env.ProductionForecast(c, at, s.opts.Clock())
-	writeJSON(w, WeatherResponse{ChargerID: c.ID, At: at, ProductionKW: toWire(iv)})
+	resp := WeatherResponse{ChargerID: c.ID, At: at, ProductionKW: toWire(iv)}
+	s.respond(w, r, &resp, func(b []byte) []byte { return wire.AppendWeather(b, &resp) })
 }
 
 // handleAvailability returns the availability estimate of a charger
@@ -421,7 +527,8 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	iv := s.env.Avail.ForecastAvailability(c.ID, &c.Timetable, at, s.opts.Clock())
-	writeJSON(w, AvailabilityResponse{ChargerID: c.ID, At: at, Availability: toWire(iv)})
+	resp := AvailabilityResponse{ChargerID: c.ID, At: at, Availability: toWire(iv)}
+	s.respond(w, r, &resp, func(b []byte) []byte { return wire.AppendAvailability(b, &resp) })
 }
 
 func (s *Server) chargerAndTime(w http.ResponseWriter, r *http.Request) (c *charger.Charger, at time.Time, ok bool) {
@@ -474,8 +581,22 @@ func (s *Server) handleOffering(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	const maxOfferingBody = 1 << 20
+	body := http.MaxBytesReader(w, r.Body, maxOfferingBody)
 	var req OfferingRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if wire.IsWire(r.Header.Get("Content-Type")) {
+		buf := wire.GetBuffer()
+		err := buf.ReadLimit(body, maxOfferingBody)
+		if err == nil {
+			err = wire.DecodeOfferingRequest(buf.B, &req)
+		}
+		wire.PutBuffer(buf)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		met.reqWire.Inc()
+	} else if err := json.NewDecoder(body).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -509,9 +630,17 @@ func (s *Server) handleOffering(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := s.cacheKeyFor(p, req)
-	if resp, ok := s.cache.get(key, now); ok {
-		resp.Cached = true
-		writeJSON(w, resp)
+	if v, ok := s.cache.get(key, now); ok {
+		// Write-many: the table was encoded (both formats, Cached=true)
+		// when it entered the cache; a hit costs one header write and one
+		// body write, no marshalling.
+		if wantsWire(r) {
+			met.respWire.Inc()
+			writeBody(w, http.StatusOK, wire.ContentType, v.wireBody)
+		} else {
+			met.respJSON.Inc()
+			writeBody(w, http.StatusOK, ctJSON, v.jsonBody)
+		}
 		return
 	}
 
@@ -547,7 +676,7 @@ func (s *Server) handleOffering(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Cached = resp.Cached || shared
-	writeJSON(w, resp)
+	s.respond(w, r, &resp, func(b []byte) []byte { return wire.AppendOfferingResponse(b, &resp) })
 }
 
 // flightGroup collapses concurrent computations of the same cache key into

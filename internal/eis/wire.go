@@ -1,6 +1,6 @@
 // Package eis implements the EcoCharge Information Server of §IV and its
 // client. The server consolidates charger inventory, weather, availability
-// and traffic estimates behind a JSON HTTP API and computes Offering Tables
+// and traffic estimates behind an HTTP API and computes Offering Tables
 // centrally (Mode 2); the client supports all three modes of operation:
 //
 //	Mode 1 — in-vehicle: the embedded OS holds the environment and computes
@@ -8,64 +8,48 @@
 //	Mode 2 — server: the client posts a query, the EIS computes the table.
 //	Mode 3 — edge: the client pulls the data (chargers + model seeds) from
 //	         the EIS once and computes tables on the phone.
+//
+// JSON is the canonical, default interchange format. The hot-path payloads
+// (Offering Tables, charger lists, point lookups) additionally negotiate
+// the compact binary format of internal/wire via standard Accept /
+// Content-Type headers; see that package for the format and the
+// equivalence contract.
 package eis
 
 import (
-	"time"
-
 	"ecocharge/internal/cknn"
 	"ecocharge/internal/interval"
+	"ecocharge/internal/wire"
 )
 
 // APIVersion prefixes all routes.
 const APIVersion = "/api/v1"
 
-// IntervalJSON is the wire form of an interval estimate.
-type IntervalJSON struct {
-	Min float64 `json:"min"`
-	Max float64 `json:"max"`
-}
+// The wire types live in internal/wire (shared with the binary codec and
+// the fleet gateway); the aliases keep eis.OfferingResponse et al. the
+// canonical names for every caller.
+type (
+	// IntervalJSON is the wire form of an interval estimate.
+	IntervalJSON = wire.IntervalJSON
+	// WeightsJSON is the wire form of the SC weights.
+	WeightsJSON = wire.WeightsJSON
+	// OfferingRequest asks the EIS for an Offering Table (Mode 2).
+	OfferingRequest = wire.OfferingRequest
+	// OfferingEntry is one ranked charger of the response.
+	OfferingEntry = wire.OfferingEntry
+	// OfferingResponse is the Mode 2 result.
+	OfferingResponse = wire.OfferingResponse
+	// WeatherResponse reports the production forecast of one charger site.
+	WeatherResponse = wire.WeatherResponse
+	// AvailabilityResponse reports the availability estimate of one charger.
+	AvailabilityResponse = wire.AvailabilityResponse
+	// TrafficResponse reports the congestion multiplier band per road class.
+	TrafficResponse = wire.TrafficResponse
+	// ErrorResponse is the JSON body of non-2xx responses.
+	ErrorResponse = wire.ErrorResponse
+)
 
-func toWire(i interval.I) IntervalJSON      { return IntervalJSON{Min: i.Min, Max: i.Max} }
-func (i IntervalJSON) Interval() interval.I { return interval.FromBounds(i.Min, i.Max) }
-
-// WeightsJSON is the wire form of the SC weights.
-type WeightsJSON struct {
-	L float64 `json:"l"`
-	A float64 `json:"a"`
-	D float64 `json:"d"`
-}
-
-// OfferingRequest asks the EIS for an Offering Table (Mode 2).
-type OfferingRequest struct {
-	Lat     float64     `json:"lat"`
-	Lon     float64     `json:"lon"`
-	K       int         `json:"k"`
-	RadiusM float64     `json:"radius_m"`
-	Weights WeightsJSON `json:"weights"`
-	// Now is when the estimate is issued; zero means server time.
-	Now time.Time `json:"now"`
-	// ETA is the arrival time at the query point; zero means Now.
-	ETA time.Time `json:"eta"`
-}
-
-// OfferingEntry is one ranked charger of the response.
-type OfferingEntry struct {
-	ChargerID int64        `json:"charger_id"`
-	Lat       float64      `json:"lat"`
-	Lon       float64      `json:"lon"`
-	RateKW    float64      `json:"rate_kw"`
-	SC        IntervalJSON `json:"sc"`
-	L         IntervalJSON `json:"l"`
-	A         IntervalJSON `json:"a"`
-	D         IntervalJSON `json:"d"`
-	ETA       time.Time    `json:"eta"`
-	// Degraded is the cknn.Degraded bitmask of the entry: bit 0 = L,
-	// bit 1 = A, bit 2 = D. A set bit means that component's backing source
-	// failed and the interval above is the [0,1] ignorance bound, not an
-	// estimate. Omitted (0) when every component was estimated.
-	Degraded uint8 `json:"degraded,omitempty"`
-}
+func toWire(i interval.I) IntervalJSON { return wire.ToWire(i) }
 
 // wireEntry converts one ranked engine entry to its wire form; every
 // endpoint emitting Offering Tables goes through it so the wire contract
@@ -83,36 +67,4 @@ func wireEntry(e cknn.Entry) OfferingEntry {
 		ETA:       e.Comp.ETA,
 		Degraded:  uint8(e.Comp.Degraded),
 	}
-}
-
-// OfferingResponse is the Mode 2 result.
-type OfferingResponse struct {
-	Entries     []OfferingEntry `json:"entries"`
-	GeneratedAt time.Time       `json:"generated_at"`
-	Cached      bool            `json:"cached"` // served from the server-side dynamic cache
-}
-
-// WeatherResponse reports the production forecast of one charger site.
-type WeatherResponse struct {
-	ChargerID    int64        `json:"charger_id"`
-	At           time.Time    `json:"at"`
-	ProductionKW IntervalJSON `json:"production_kw"`
-}
-
-// AvailabilityResponse reports the availability estimate of one charger.
-type AvailabilityResponse struct {
-	ChargerID    int64        `json:"charger_id"`
-	At           time.Time    `json:"at"`
-	Availability IntervalJSON `json:"availability"`
-}
-
-// TrafficResponse reports the congestion multiplier band per road class.
-type TrafficResponse struct {
-	At         time.Time               `json:"at"`
-	Multiplier map[string]IntervalJSON `json:"multiplier"`
-}
-
-// ErrorResponse is the JSON body of non-2xx responses.
-type ErrorResponse struct {
-	Error string `json:"error"`
 }

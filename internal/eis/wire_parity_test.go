@@ -1,0 +1,274 @@
+package eis
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/fault"
+	"ecocharge/internal/wire"
+)
+
+// wireGet performs one GET with the binary format negotiated and returns the
+// body after asserting the wire content type and an exact Content-Length.
+func wireGet(t *testing.T, url string) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	return doWire(t, req)
+}
+
+func doWire(t *testing.T, req *http.Request) []byte {
+	t.Helper()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s %s: status %d: %.200s", req.Method, req.URL, resp.StatusCode, buf.Bytes())
+	}
+	if ct := resp.Header.Get("Content-Type"); !wire.IsWire(ct) {
+		t.Fatalf("%s: negotiated binary but got Content-Type %q", req.URL, ct)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(buf.Len()) {
+		t.Fatalf("%s: Content-Length %s, body is %d bytes", req.URL, cl, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func jsonGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %.200s", url, resp.StatusCode, buf.Bytes())
+	}
+	return buf.Bytes()
+}
+
+// assertWireEqualsJSON decodes a binary body, re-renders it as JSON with the
+// server's framing (Encoder newline), and requires byte equality with the
+// JSON body the same endpoint served.
+func assertWireEqualsJSON(t *testing.T, label string, jsonBody, wireBody []byte, out interface{}) {
+	t.Helper()
+	if err := wire.DecodeInto(wireBody, out); err != nil {
+		t.Fatalf("%s: decoding binary body: %v", label, err)
+	}
+	rendered, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered = append(rendered, '\n')
+	if !bytes.Equal(jsonBody, rendered) {
+		t.Fatalf("%s: binary and JSON planes disagree\njson: %.400s\nwire: %.400s", label, jsonBody, rendered)
+	}
+}
+
+// TestChaosWireFormatParity drives every wire-capable endpoint through both
+// content types under a 30%% source-fault rate: the binary body, decoded and
+// re-rendered as JSON, must be byte-identical to the JSON answer — degraded
+// bits, cache flags, nulls, and timestamps included.
+func TestChaosWireFormatParity(t *testing.T) {
+	ts, _, env := chaosServer(t, fault.Config{Seed: 9, Rate: 0.3})
+	base := ts.URL + APIVersion
+	anchor := env.Graph.Bounds().Center()
+	first := env.Chargers.All()[0]
+	at := fixedNow.Format(time.RFC3339)
+
+	q := fmt.Sprintf("?lat=%v&lon=%v&radius_m=5000", anchor.Lat, anchor.Lon)
+	var cs []charger.Charger
+	assertWireEqualsJSON(t, "chargers", jsonGet(t, base+"/chargers"+q), wireGet(t, base+"/chargers"+q), &cs)
+	if len(cs) == 0 {
+		t.Fatal("chargers parity compared an empty radius")
+	}
+
+	var inv []charger.Charger
+	assertWireEqualsJSON(t, "inventory", jsonGet(t, base+"/inventory"), wireGet(t, base+"/inventory"), &inv)
+	if len(inv) != len(env.Chargers.All()) {
+		t.Fatalf("inventory decoded %d chargers, environment has %d", len(inv), len(env.Chargers.All()))
+	}
+
+	wq := fmt.Sprintf("?charger=%d&t=%s", first.ID, at)
+	var wr WeatherResponse
+	assertWireEqualsJSON(t, "weather", jsonGet(t, base+"/weather"+wq), wireGet(t, base+"/weather"+wq), &wr)
+	var ar AvailabilityResponse
+	assertWireEqualsJSON(t, "availability", jsonGet(t, base+"/availability"+wq), wireGet(t, base+"/availability"+wq), &ar)
+
+	// Traffic is JSON-only by design: negotiating binary must degrade to
+	// JSON, not fail.
+	tq := fmt.Sprintf("?t=%s", at)
+	req, err := http.NewRequest(http.MethodGet, base+"/traffic"+tq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || wire.IsWire(resp.Header.Get("Content-Type")) {
+		t.Fatalf("traffic with wire Accept: status %d, Content-Type %q; want JSON 200",
+			resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+}
+
+// TestChaosWireOfferingCacheParity pins the encode-once/write-many cache
+// across formats: a fresh Mode 2 compute and its cache hits must agree
+// byte-for-byte between JSON and binary clients, whichever format warmed
+// the cache.
+func TestChaosWireOfferingCacheParity(t *testing.T) {
+	ts, _, env := chaosServer(t, fault.Config{Seed: 9, Rate: 0.3})
+	url := ts.URL + APIVersion + "/offering"
+	anchor := env.Chargers.All()[4].P
+	oreq := OfferingRequest{Lat: anchor.Lat, Lon: anchor.Lon, K: 4, Now: fixedNow}
+	body, err := json.Marshal(oreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(accept, contentType string, reqBody []byte) (OfferingResponse, []byte) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("offering: status %d: %.200s", resp.StatusCode, buf.Bytes())
+		}
+		var out OfferingResponse
+		if wire.IsWire(resp.Header.Get("Content-Type")) {
+			if accept == "" {
+				t.Fatal("offering: got binary without asking for it")
+			}
+			if err := wire.DecodeInto(buf.Bytes(), &out); err != nil {
+				t.Fatalf("offering: decoding binary body: %v", err)
+			}
+		} else if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("offering: decoding JSON body: %v", err)
+		}
+		return out, buf.Bytes()
+	}
+
+	fresh, freshBody := post("", "application/json", body)
+	if fresh.Cached {
+		t.Fatal("first compute claims to be cached")
+	}
+	if len(fresh.Entries) == 0 {
+		t.Fatal("offering parity compared an empty table")
+	}
+
+	// Cache hits in both formats, JSON-warmed.
+	jsonHit, jsonHitBody := post("", "application/json", body)
+	wireHit, _ := post(wire.ContentType, "application/json", body)
+	if !jsonHit.Cached || !wireHit.Cached {
+		t.Fatalf("repeat requests not served from cache (json=%v wire=%v)", jsonHit.Cached, wireHit.Cached)
+	}
+	jb, err := json.Marshal(&wireHit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonHitBody, append(jb, '\n')) {
+		t.Fatalf("cached binary and JSON tables differ\njson: %.400s\nwire: %.400s", jsonHitBody, jb)
+	}
+
+	// The cached table must be the fresh table (modulo the Cached flag).
+	hitNoFlag := jsonHit
+	hitNoFlag.Cached = false
+	hb, _ := json.Marshal(&hitNoFlag)
+	fb, _ := json.Marshal(&fresh)
+	if !bytes.Equal(hb, fb) {
+		t.Fatalf("cache hit changed the table\nfresh: %.400s\nhit:   %.400s", fb, hb)
+	}
+	_ = freshBody
+
+	// Binary Mode 2 request body (the wire client's POST) must hit the same
+	// cache entry and produce the same table.
+	wireReqBody := wire.AppendOfferingRequest(nil, &oreq)
+	binReq, _ := post(wire.ContentType, wire.ContentType, wireReqBody)
+	if !binReq.Cached {
+		t.Fatal("binary request body missed the cache a JSON body warmed")
+	}
+	bb, _ := json.Marshal(&binReq)
+	wb, _ := json.Marshal(&wireHit)
+	if !bytes.Equal(bb, wb) {
+		t.Fatalf("binary request body produced a different table\njson-req: %.400s\nwire-req: %.400s", wb, bb)
+	}
+}
+
+// TestChaosWireClientParity runs the high-level client in both formats
+// against the same chaos server: identical requests must return identical
+// tables.
+func TestChaosWireClientParity(t *testing.T) {
+	ts, jsonClient, env := chaosServer(t, fault.Config{Seed: 9, Rate: 0.3})
+	wireClient := NewClientOpts(ts.URL, ClientOptions{HTTPClient: ts.Client(), Wire: true})
+	ctx := context.Background()
+	all := env.Chargers.All()
+
+	for i := 0; i < len(all); i += 16 {
+		req := OfferingRequest{Lat: all[i].P.Lat, Lon: all[i].P.Lon, K: 3, Now: fixedNow}
+		jr, err := jsonClient.Offering(ctx, req)
+		if err != nil {
+			t.Fatalf("json client offering %d: %v", i, err)
+		}
+		wr, err := wireClient.Offering(ctx, req)
+		if err != nil {
+			t.Fatalf("wire client offering %d: %v", i, err)
+		}
+		// The second request is a cache hit; compare modulo the flag.
+		jr.Cached, wr.Cached = false, false
+		jb, _ := json.Marshal(&jr)
+		wb, _ := json.Marshal(&wr)
+		if !bytes.Equal(jb, wb) {
+			t.Fatalf("clients disagree at anchor %d\njson: %.400s\nwire: %.400s", i, jb, wb)
+		}
+	}
+
+	// Inventory through both clients.
+	jcs, err := jsonClient.Chargers(ctx, env.Graph.Bounds().Center(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcs, err := wireClient.Chargers(ctx, env.Graph.Bounds().Center(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(jcs)
+	wb, _ := json.Marshal(wcs)
+	if !bytes.Equal(jb, wb) {
+		t.Fatalf("clients disagree on chargers\njson: %.200s\nwire: %.200s", jb, wb)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ecocharge/internal/charger"
@@ -18,6 +19,7 @@ import (
 	"ecocharge/internal/eis"
 	"ecocharge/internal/geo"
 	"ecocharge/internal/obs"
+	"ecocharge/internal/wire"
 )
 
 // Shard names one fleet member: its primary base URL and an optional
@@ -52,6 +54,13 @@ type Options struct {
 	Clock func() time.Time
 	// Logger for degraded merges and shard errors; nil silences logging.
 	Logger *log.Logger
+	// WireShards negotiates the binary format of internal/wire on the
+	// shard-side exchanges whose payloads the codec covers (charger fan-out
+	// and offering merges). The client-facing format is negotiated
+	// independently per request, and a shard without the codec keeps
+	// answering JSON — the gateway decodes by Content-Type — so mixed fleets
+	// work during a rollout.
+	WireShards bool
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +135,26 @@ type shardResult struct {
 	contentType string
 	retryAfter  string
 	err         error
+	// buf is the pooled backing storage of body; release returns it. A
+	// hedge loser that lands after its exchange returned is simply dropped —
+	// its buffer falls to the GC instead of the pool, which is safe.
+	buf *wire.Buffer
+}
+
+// release returns the result's pooled body buffer; neither the result nor
+// any slice of body may be touched afterwards.
+func (res *shardResult) release() {
+	if res != nil && res.buf != nil {
+		wire.PutBuffer(res.buf)
+		res.buf, res.body = nil, nil
+	}
+}
+
+// releaseAll releases every fan-out result's pooled body.
+func releaseAll(results []*shardResult) {
+	for _, res := range results {
+		res.release()
+	}
 }
 
 // retryableStatus mirrors the client's transient-fault classification: these
@@ -139,8 +168,10 @@ func retryableStatus(code int) bool {
 	return false
 }
 
-// attempt performs one HTTP exchange against one base URL.
-func (g *Gateway) attempt(ctx context.Context, base, method, pathq string, body []byte, contentType string) *shardResult {
+// attempt performs one HTTP exchange against one base URL. The body is read
+// into a pooled buffer (the old per-attempt ReadAll re-grew a slice on every
+// exchange); the caller owns the result and must release() it.
+func (g *Gateway) attempt(ctx context.Context, base, method, pathq string, body []byte, contentType, accept string) *shardResult {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -152,26 +183,33 @@ func (g *Gateway) attempt(ctx context.Context, base, method, pathq string, body 
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	resp, err := g.opts.HTTPClient.Do(req)
 	if err != nil {
 		return &shardResult{err: err}
 	}
 	defer resp.Body.Close()
-	b, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes+1))
-	if err != nil {
+	buf := wire.GetBuffer()
+	if err := buf.ReadLimit(resp.Body, maxShardResponseBytes); err != nil {
+		wire.PutBuffer(buf)
 		return &shardResult{err: err}
 	}
-	if int64(len(b)) > maxShardResponseBytes {
+	if int64(len(buf.B)) > maxShardResponseBytes {
+		wire.PutBuffer(buf)
 		return &shardResult{err: fmt.Errorf("fleet: shard response exceeds %d bytes", maxShardResponseBytes)}
 	}
 	if retryableStatus(resp.StatusCode) {
+		wire.PutBuffer(buf)
 		return &shardResult{err: fmt.Errorf("fleet: shard %s: HTTP %d", base, resp.StatusCode)}
 	}
 	return &shardResult{
 		status:      resp.StatusCode,
-		body:        b,
+		body:        buf.B,
 		contentType: resp.Header.Get("Content-Type"),
 		retryAfter:  resp.Header.Get("Retry-After"),
+		buf:         buf,
 	}
 }
 
@@ -181,7 +219,7 @@ func (g *Gateway) attempt(ctx context.Context, base, method, pathq string, body 
 // primary fails first). The first terminal answer wins; a late loser is
 // cancelled by the shared context. Exactly one breaker outcome is recorded
 // per exchange.
-func (g *Gateway) exchange(ctx context.Context, m *member, method, pathq string, body []byte, contentType string) *shardResult {
+func (g *Gateway) exchange(ctx context.Context, m *member, method, pathq string, body []byte, contentType, accept string) *shardResult {
 	if err := m.breaker.Allow(); err != nil {
 		met.shardFailures.Inc()
 		return &shardResult{err: fmt.Errorf("fleet: shard %d: %w", m.index, err)}
@@ -195,7 +233,7 @@ func (g *Gateway) exchange(ctx context.Context, m *member, method, pathq string,
 	}
 	ch := make(chan attempt, 2)
 	do := func(base string, hedged bool) {
-		ch <- attempt{res: g.attempt(ctx, base, method, pathq, body, contentType), hedged: hedged}
+		ch <- attempt{res: g.attempt(ctx, base, method, pathq, body, contentType, accept), hedged: hedged}
 	}
 	met.shardRequests.Inc()
 	//ecolint:ignore nakedgo do reports into ch (buffered for both attempts) and the attempt is bounded by the exchange context
@@ -262,12 +300,12 @@ func (g *Gateway) exchange(ctx context.Context, m *member, method, pathq string,
 
 // fanout runs one exchange against every shard concurrently and returns the
 // results indexed by shard.
-func (g *Gateway) fanout(ctx context.Context, method, pathq string, body []byte, contentType string) []*shardResult {
+func (g *Gateway) fanout(ctx context.Context, method, pathq string, body []byte, contentType, accept string) []*shardResult {
 	results := make([]*shardResult, len(g.members))
 	done := make(chan int, len(g.members))
 	for i, m := range g.members {
 		go func(i int, m *member) {
-			results[i] = g.exchange(ctx, m, method, pathq, body, contentType)
+			results[i] = g.exchange(ctx, m, method, pathq, body, contentType, accept)
 			done <- i
 		}(i, m)
 	}
@@ -277,12 +315,19 @@ func (g *Gateway) fanout(ctx context.Context, method, pathq string, body []byte,
 	return results
 }
 
+// shardAccept is the Accept header value of shard-side exchanges on the
+// binary-covered payloads; empty keeps the shards' JSON default.
+func (g *Gateway) shardAccept() string {
+	if g.opts.WireShards {
+		return wire.ContentType
+	}
+	return ""
+}
+
 func (g *Gateway) writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	msg := fmt.Sprintf(format, args...)
 	g.logf("%d %s", code, msg)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(eis.ErrorResponse{Error: msg})
+	writeJSONStatus(w, code, eis.ErrorResponse{Error: msg})
 }
 
 // writeUnavailable is the all-shards-dead answer: an honest 503 with a
@@ -292,9 +337,57 @@ func (g *Gateway) writeUnavailable(w http.ResponseWriter, what string) {
 	g.writeError(w, http.StatusServiceUnavailable, "no shard could serve %s", what)
 }
 
+const ctJSON = "application/json"
+
+// errEncodeBody is the fallback 500 body when marshalling a response fails;
+// the old streaming encoder silently truncated a 200 instead.
+var errEncodeBody = []byte(`{"error":"encoding response"}` + "\n")
+
+// jsonBufs pools the gateway's JSON encode buffers (the twin of the EIS
+// server's pool): encode into a reusable buffer, set Content-Length, write
+// once.
+var jsonBufs = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// maxPooledJSONBuf caps the capacity a returned buffer may keep.
+const maxPooledJSONBuf = 1 << 22
+
+func writeBody(w http.ResponseWriter, code int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	_, _ = w.Write(body) // client went away; nothing to do with the error
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v interface{}) {
+	buf := jsonBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufs.Put(buf)
+		writeBody(w, http.StatusInternalServerError, ctJSON, errEncodeBody)
+		return
+	}
+	writeBody(w, code, ctJSON, buf.Bytes())
+	if buf.Cap() <= maxPooledJSONBuf {
+		jsonBufs.Put(buf)
+	}
+}
+
 func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// respond writes a merged result to the client in its negotiated format:
+// enc appends the binary message for payloads the wire codec covers, JSON
+// stays the default. Degraded synth responses and errors are always JSON.
+func (g *Gateway) respond(w http.ResponseWriter, r *http.Request, v interface{}, enc func([]byte) []byte) {
+	if enc != nil && wire.Accepts(r.Header.Get("Accept")) {
+		buf := wire.GetBuffer()
+		buf.B = enc(buf.B)
+		writeBody(w, http.StatusOK, wire.ContentType, buf.B)
+		wire.PutBuffer(buf)
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, v)
 }
 
 // passthrough relays a shard's terminal response verbatim, so error bodies
@@ -384,7 +477,8 @@ func (g *Gateway) handleChargers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pathq := eis.APIVersion + "/chargers?" + r.URL.RawQuery
-	results := g.fanout(r.Context(), http.MethodGet, pathq, nil, "")
+	results := g.fanout(r.Context(), http.MethodGet, pathq, nil, "", g.shardAccept())
+	defer releaseAll(results)
 	ok, bad, dead := splitResults(results)
 	if bad != nil {
 		passthrough(w, bad)
@@ -396,8 +490,8 @@ func (g *Gateway) handleChargers(w http.ResponseWriter, r *http.Request) {
 	}
 	lists := make([][]charger.Charger, 0, len(g.members))
 	for _, i := range ok {
-		var l []charger.Charger
-		if err := json.Unmarshal(results[i].body, &l); err != nil {
+		l, err := decodeChargerList(results[i])
+		if err != nil {
 			g.writeError(w, http.StatusBadGateway, "shard %d: decoding chargers: %v", i, err)
 			return
 		}
@@ -429,7 +523,23 @@ func (g *Gateway) handleChargers(w http.ResponseWriter, r *http.Request) {
 		markDegraded(w, dead, synthesized)
 		g.logf("chargers served degraded: shards %v down", dead)
 	}
-	writeJSON(w, mergeChargers(lists, p))
+	merged := mergeChargers(lists, p)
+	g.respond(w, r, merged, func(b []byte) []byte { return wire.AppendChargers(b, merged) })
+}
+
+// decodeChargerList decodes one shard's charger payload by its Content-Type,
+// timing the per-format decode share of the fan-out.
+func decodeChargerList(res *shardResult) ([]charger.Charger, error) {
+	start := time.Now()
+	if wire.IsWire(res.contentType) {
+		l, err := wire.DecodeChargers(res.body, nil)
+		met.decodeWire.Since(start)
+		return l, err
+	}
+	var l []charger.Charger
+	err := json.Unmarshal(res.body, &l)
+	met.decodeJSON.Since(start)
+	return l, err
 }
 
 // chargersParams mirrors the shard-side parameter handling of /chargers;
@@ -510,7 +620,11 @@ func (g *Gateway) perCharger(w http.ResponseWriter, r *http.Request, what string
 	}
 	m := g.ownerOf(r)
 	pathq := eis.APIVersion + "/" + what + "?" + r.URL.RawQuery
-	res := g.exchange(r.Context(), m, http.MethodGet, pathq, nil, "")
+	// Forward the client's own Accept header: when the client negotiated
+	// binary the shard's encoded bytes pass through with no gateway
+	// decode/re-encode at all.
+	res := g.exchange(r.Context(), m, http.MethodGet, pathq, nil, "", r.Header.Get("Accept"))
+	defer res.release()
 	if res.err == nil {
 		passthrough(w, res)
 		return
@@ -558,11 +672,13 @@ func (g *Gateway) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	})
 	pathq := eis.APIVersion + "/traffic?" + r.URL.RawQuery
 	for _, m := range order {
-		res := g.exchange(r.Context(), m, http.MethodGet, pathq, nil, "")
+		res := g.exchange(r.Context(), m, http.MethodGet, pathq, nil, "", r.Header.Get("Accept"))
 		if res.err == nil {
 			passthrough(w, res)
+			res.release()
 			return
 		}
+		res.release()
 	}
 	g.writeUnavailable(w, "traffic")
 }
@@ -617,7 +733,14 @@ func (g *Gateway) handleOffering(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusBadRequest, "reading request: %v", err)
 		return
 	}
-	results := g.fanout(r.Context(), http.MethodPost, eis.APIVersion+"/offering", body, "application/json")
+	// The body is forwarded with the client's own Content-Type: a binary
+	// Mode 2 request travels to the shards verbatim, no transcoding.
+	reqCT := r.Header.Get("Content-Type")
+	if reqCT == "" {
+		reqCT = ctJSON
+	}
+	results := g.fanout(r.Context(), http.MethodPost, eis.APIVersion+"/offering", body, reqCT, g.shardAccept())
+	defer releaseAll(results)
 	ok, bad, dead := splitResults(results)
 	if bad != nil {
 		passthrough(w, bad)
@@ -630,16 +753,30 @@ func (g *Gateway) handleOffering(w http.ResponseWriter, r *http.Request) {
 	live := make([]eis.OfferingResponse, 0, len(ok))
 	for _, i := range ok {
 		var t eis.OfferingResponse
-		if err := json.Unmarshal(results[i].body, &t); err != nil {
+		start := time.Now()
+		if wire.IsWire(results[i].contentType) {
+			err = wire.DecodeOfferingResponse(results[i].body, &t)
+			met.decodeWire.Since(start)
+		} else {
+			err = json.Unmarshal(results[i].body, &t)
+			met.decodeJSON.Since(start)
+		}
+		if err != nil {
 			g.writeError(w, http.StatusBadGateway, "shard %d: decoding offering: %v", i, err)
 			return
 		}
 		live = append(live, t)
 	}
 	var req eis.OfferingRequest
+	reqParsed := false
+	if wire.IsWire(reqCT) {
+		reqParsed = wire.DecodeOfferingRequest(body, &req) == nil
+	} else {
+		reqParsed = json.Unmarshal(body, &req) == nil
+	}
 	var synth []eis.OfferingEntry
 	k := 3
-	if json.Unmarshal(body, &req) == nil {
+	if reqParsed {
 		var radius float64
 		var weights cknn.Weights
 		var paramsOK bool
@@ -655,7 +792,8 @@ func (g *Gateway) handleOffering(w http.ResponseWriter, r *http.Request) {
 		markDegraded(w, dead, len(synth))
 		g.logf("offering served degraded: shards %v down, %d entries widened", dead, len(synth))
 	}
-	writeJSON(w, mergeOffering(live, synth, k))
+	merged := mergeOffering(live, synth, k)
+	g.respond(w, r, &merged, func(b []byte) []byte { return wire.AppendOfferingResponse(b, &merged) })
 }
 
 // ---- offering/trip ----
@@ -670,7 +808,10 @@ func (g *Gateway) handleTrip(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusBadRequest, "reading request: %v", err)
 		return
 	}
-	results := g.fanout(r.Context(), http.MethodPost, eis.APIVersion+"/offering/trip", body, "application/json")
+	// Trip offerings stay JSON end to end (the segment-shaped payload is not
+	// in the binary codec's hot set).
+	results := g.fanout(r.Context(), http.MethodPost, eis.APIVersion+"/offering/trip", body, ctJSON, "")
+	defer releaseAll(results)
 	ok, bad, dead := splitResults(results)
 	if bad != nil {
 		passthrough(w, bad)

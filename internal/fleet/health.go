@@ -12,6 +12,7 @@ import (
 
 	"ecocharge/internal/charger"
 	"ecocharge/internal/eis"
+	"ecocharge/internal/wire"
 )
 
 // member is the gateway's view of one shard: its addresses, a circuit
@@ -123,17 +124,31 @@ func (g *Gateway) pullInventory(ctx context.Context, m *member) {
 	if err != nil {
 		return
 	}
+	if accept := g.shardAccept(); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	resp, err := g.opts.HTTPClient.Do(req)
 	if err != nil {
 		return
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes+1))
-	if err != nil || resp.StatusCode != http.StatusOK || int64(len(body)) > maxShardResponseBytes {
+	// Pooled read: inventory pulls are the gateway's largest payloads, and
+	// one reusable buffer replaces a ReadAll regrowth per probe cycle. The
+	// decoded inventory is a fresh slice, so releasing the buffer is safe.
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	if err := buf.ReadLimit(resp.Body, maxShardResponseBytes); err != nil ||
+		resp.StatusCode != http.StatusOK || int64(len(buf.B)) > maxShardResponseBytes {
 		return
 	}
 	var inv []charger.Charger
-	if err := json.Unmarshal(body, &inv); err != nil {
+	if wire.IsWire(resp.Header.Get("Content-Type")) {
+		decoded, err := wire.DecodeChargers(buf.B, nil)
+		if err != nil {
+			return
+		}
+		inv = decoded
+	} else if err := json.Unmarshal(buf.B, &inv); err != nil {
 		return
 	}
 	m.inventory.Store(&inv)

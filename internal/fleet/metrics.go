@@ -33,6 +33,11 @@ type fleetMetrics struct {
 	// ignorance bound, and the synthesized entries they carried.
 	degradedMerges  *obs.Counter
 	degradedEntries *obs.Counter
+
+	// Per-format decode share of the fan-out path: how long the gateway
+	// spends unmarshalling shard bodies, split by interchange format.
+	decodeJSON *obs.Histogram
+	decodeWire *obs.Histogram
 }
 
 func newFleetMetrics(r *obs.Registry) *fleetMetrics {
@@ -57,6 +62,9 @@ func newFleetMetrics(r *obs.Registry) *fleetMetrics {
 
 		degradedMerges:  r.Counter("gateway_degraded_merges_total"),
 		degradedEntries: r.Counter("gateway_degraded_entries_total"),
+
+		decodeJSON: r.Histogram("gateway_decode_seconds_json", nil),
+		decodeWire: r.Histogram("gateway_decode_seconds_wire", nil),
 	}
 }
 

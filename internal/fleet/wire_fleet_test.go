@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"ecocharge/internal/eis"
+	"ecocharge/internal/fault"
+	"ecocharge/internal/wire"
+)
+
+// TestChaosFleetWireShardByteIdentity turns the binary shard plane on and
+// repeats the fault-free identity bar: with every gateway↔shard exchange
+// negotiated binary, the JSON a client sees must still be byte-identical to
+// a single EIS over the whole inventory. The decode counters prove the
+// exchanges actually travelled binary rather than silently falling back.
+func TestChaosFleetWireShardByteIdentity(t *testing.T) {
+	wireBefore := met.decodeWire.Count()
+	h := newFleetHarness(t, harnessOpts{n: 3, gw: func(o *Options) { o.WireShards = true }})
+	center := h.env.Graph.Bounds().Center()
+	at := fixedNow.Add(time.Hour).Format(time.RFC3339)
+
+	for _, radius := range []float64{1, 3000, 50000} {
+		pathq := eis.APIVersion + "/chargers?lat=" + fmtFloat(center.Lat) + "&lon=" + fmtFloat(center.Lon) + "&radius_m=" + fmtFloat(radius)
+		h.assertIdentical("chargers", http.MethodGet, pathq, nil)
+	}
+
+	// Point lookups and traffic are pass-through: the gateway forwards the
+	// client's Accept, so a JSON client gets JSON straight off the shard.
+	all := h.env.Chargers.All()
+	probe := all[0]
+	for _, c := range all {
+		if h.part.ShardOf(c.ID) == 1 {
+			probe = c
+			break
+		}
+	}
+	q := "?charger=" + fmt.Sprint(probe.ID) + "&t=" + at
+	h.assertIdentical("weather", http.MethodGet, eis.APIVersion+"/weather"+q, nil)
+	h.assertIdentical("availability", http.MethodGet, eis.APIVersion+"/availability"+q, nil)
+	h.assertIdentical("traffic", http.MethodGet, eis.APIVersion+"/traffic?t="+at, nil)
+
+	// Offering: fresh then cache-hit, both byte-identical even though the
+	// shard legs carried binary tables.
+	body := offeringBody(t, eis.OfferingRequest{
+		Lat: center.Lat, Lon: center.Lon, K: 4, RadiusM: 5000,
+		Weights: eis.WeightsJSON{L: 2, A: 1, D: 1}, Now: fixedNow,
+	})
+	h.assertIdentical("offering", http.MethodPost, eis.APIVersion+"/offering", body)
+	h.assertIdentical("offering cached", http.MethodPost, eis.APIVersion+"/offering", body)
+	// Errors pass through as JSON regardless of the shard plane's format.
+	h.assertIdentical("offering bad weights", http.MethodPost, eis.APIVersion+"/offering",
+		offeringBody(t, eis.OfferingRequest{Lat: center.Lat, Lon: center.Lon, Weights: eis.WeightsJSON{L: -1}, Now: fixedNow}))
+
+	if met.decodeWire.Count() == wireBefore {
+		t.Fatal("WireShards gateway never decoded a binary shard response — the exchanges fell back to JSON")
+	}
+}
+
+// TestChaosFleetWireClientNegotiation asks the WireShards gateway itself
+// for binary: the decoded table must match the single EIS answer, and a
+// degraded synth (dead shard) must still answer a binary client correctly.
+func TestChaosFleetWireClientNegotiation(t *testing.T) {
+	h := newFleetHarness(t, harnessOpts{n: 3, gw: func(o *Options) { o.WireShards = true }})
+	center := h.env.Graph.Bounds().Center()
+
+	oreq := eis.OfferingRequest{Lat: center.Lat, Lon: center.Lon, K: 5, RadiusM: 6000, Now: fixedNow}
+	body := offeringBody(t, oreq)
+
+	// Single EIS JSON oracle.
+	_, singleBody, _ := doReq(t, h.single.URL, http.MethodPost, eis.APIVersion+"/offering", body)
+
+	// Binary client against the gateway.
+	req, err := http.NewRequest(http.MethodPost, h.gwts.URL+eis.APIVersion+"/offering", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %.200s", resp.StatusCode, buf.Bytes())
+	}
+	if ct := resp.Header.Get("Content-Type"); !wire.IsWire(ct) {
+		t.Fatalf("gateway ignored the binary negotiation: Content-Type %q", ct)
+	}
+	var got eis.OfferingResponse
+	if err := wire.DecodeInto(buf.Bytes(), &got); err != nil {
+		t.Fatalf("decoding gateway binary response: %v", err)
+	}
+	rendered, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(rendered, '\n'), singleBody) {
+		t.Fatalf("binary gateway table differs from single EIS\nwire:   %.400s\nsingle: %.400s", rendered, singleBody)
+	}
+}
+
+// TestChaosFleetWireBlackoutSynth kills one shard under a WireShards
+// gateway: the synthesized ignorance-bound entries must merge into the
+// binary shard tables exactly as they do on the JSON plane, for JSON and
+// binary clients alike.
+func TestChaosFleetWireBlackoutSynth(t *testing.T) {
+	mk := func(wireShards bool) (*fleetHarness, []byte) {
+		h := newFleetHarness(t, harnessOpts{
+			n: 3,
+			shapes: func(hosts []string) map[string]fault.ShardShape {
+				return map[string]fault.ShardShape{hosts[1]: {Blackouts: blackoutForever}}
+			},
+			gw: func(o *Options) { o.WireShards = wireShards },
+		})
+		ctx := context.Background()
+		h.gw.ProbeAll(ctx) // tick 0: healthy — inventories cached
+		h.inj.Advance(1)   // shard 1 goes dark
+		h.gw.ProbeAll(ctx)
+		h.gw.ProbeAll(ctx) // two failed probe rounds trip the breaker
+		center := h.env.Graph.Bounds().Center()
+		body := offeringBody(t, eis.OfferingRequest{
+			Lat: center.Lat, Lon: center.Lon, K: 4, RadiusM: 5000, Now: fixedNow,
+		})
+		status, respBody, hdr := doReq(t, h.gwts.URL, http.MethodPost, eis.APIVersion+"/offering", body)
+		if status != http.StatusOK {
+			t.Fatalf("blackout offering: status %d: %.200s", status, respBody)
+		}
+		if hdr.Get(degradedHeader) == "" {
+			t.Fatal("blackout response not marked shard-degraded")
+		}
+		return h, respBody
+	}
+
+	_, jsonPlane := mk(false)
+	_, wirePlane := mk(true)
+	if !bytes.Equal(jsonPlane, wirePlane) {
+		t.Fatalf("blackout synthesis differs between shard planes\njson plane: %.400s\nwire plane: %.400s", jsonPlane, wirePlane)
+	}
+}

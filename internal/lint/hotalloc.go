@@ -16,19 +16,34 @@ import (
 //   - importing container/heap: its interface-based Push/Pop box every
 //     element, which the specialized slice heap exists to avoid.
 //
+// internal/wire holds the alloc-free binary codec (see docs/perf.md), whose
+// steady-state discipline the same analyzer guards with different shapes:
+//
+//   - importing reflect or encoding/json: the codec's whole reason to exist
+//     is hand-rolled field-by-field marshalling; reflection-based encoding
+//     reintroduces the per-call allocations the format removed;
+//   - any map type: per-call maps on the encode/decode path allocate and
+//     hash where the format uses fixed field order and slices.
+//
 // Cold paths (offline preprocessing, map-shaped convenience APIs) are
 // legitimate exceptions: suppress with //ecolint:ignore hotalloc and a
-// reason. Packages outside internal/roadnet are not checked.
+// reason. Other packages are not checked.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "flags map[NodeID] types and container/heap imports in the roadnet hot path",
+	Doc:  "flags allocation regressions in the roadnet and wire hot paths",
 	Run:  runHotAlloc,
 }
 
 func runHotAlloc(pass *Pass) {
-	if !strings.HasSuffix(pass.Pkg.ImportPath, "internal/roadnet") {
-		return
+	switch {
+	case strings.HasSuffix(pass.Pkg.ImportPath, "internal/roadnet"):
+		runRoadnetHotAlloc(pass)
+	case strings.HasSuffix(pass.Pkg.ImportPath, "internal/wire"):
+		runWireHotAlloc(pass)
 	}
+}
+
+func runRoadnetHotAlloc(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -40,6 +55,23 @@ func runHotAlloc(pass *Pass) {
 				if isNodeIDKey(pass, n.Key) {
 					pass.Reportf(n.Pos(), "map[NodeID] on the roadnet hot path; use the generation-stamped dense arrays (searchState) instead")
 				}
+			}
+			return true
+		})
+	}
+}
+
+func runWireHotAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				switch strings.Trim(n.Path.Value, `"`) {
+				case "reflect", "encoding/json":
+					pass.Reportf(n.Pos(), "reflection-based encoding in the wire codec; the format is hand-marshalled field by field to stay alloc-free (see docs/perf.md)")
+				}
+			case *ast.MapType:
+				pass.Reportf(n.Pos(), "map type in the wire codec; per-call maps allocate on the encode/decode path — use fixed field order and reused slices")
 			}
 			return true
 		})

@@ -17,33 +17,39 @@ func TestAnalyzersGolden(t *testing.T) {
 	cases := []struct {
 		analyzer   *Analyzer
 		importPath string
+		dir        string // fixture dir under testdata/src; analyzer name if empty
 	}{
 		// Import paths are chosen so the path-sensitive analyzers
 		// (libprint wants internal/, intervalliteral must not be
 		// internal/interval itself) see a realistic location.
-		{IntervalLiteral, "ecocharge/internal/lintfixture/intervalliteral"},
-		{FloatEq, "ecocharge/internal/lintfixture/floateq"},
-		{ErrIgnore, "ecocharge/internal/lintfixture/errignore"},
-		{NakedGo, "ecocharge/internal/lintfixture/nakedgo"},
-		{LibPrint, "ecocharge/internal/lintfixture/libprint"},
-		{HTTPServer, "ecocharge/internal/lintfixture/httpserver"},
-		// hotalloc only fires inside internal/roadnet, so the fixture
-		// masquerades as that package.
-		{HotAlloc, "ecocharge/internal/lintfixture/internal/roadnet"},
+		{analyzer: IntervalLiteral, importPath: "ecocharge/internal/lintfixture/intervalliteral"},
+		{analyzer: FloatEq, importPath: "ecocharge/internal/lintfixture/floateq"},
+		{analyzer: ErrIgnore, importPath: "ecocharge/internal/lintfixture/errignore"},
+		{analyzer: NakedGo, importPath: "ecocharge/internal/lintfixture/nakedgo"},
+		{analyzer: LibPrint, importPath: "ecocharge/internal/lintfixture/libprint"},
+		{analyzer: HTTPServer, importPath: "ecocharge/internal/lintfixture/httpserver"},
+		// hotalloc fires inside internal/roadnet and internal/wire with
+		// scope-specific shapes, so one fixture masquerades as each.
+		{analyzer: HotAlloc, importPath: "ecocharge/internal/lintfixture/internal/roadnet"},
+		{analyzer: HotAlloc, importPath: "ecocharge/internal/lintfixture/internal/wire", dir: "hotalloc_wire"},
 		// obsalloc fires in internal/cknn and internal/roadnet; the fixture
 		// masquerades as the former.
-		{ObsAlloc, "ecocharge/internal/lintfixture/internal/cknn"},
-		{LeakRelease, "ecocharge/internal/lintfixture/leakrelease"},
+		{analyzer: ObsAlloc, importPath: "ecocharge/internal/lintfixture/internal/cknn"},
+		{analyzer: LeakRelease, importPath: "ecocharge/internal/lintfixture/leakrelease"},
 		// lockheld only fires in the hot packages; pose as internal/cknn.
-		{LockHeld, "ecocharge/internal/lintfixture/internal/cknn"},
+		{analyzer: LockHeld, importPath: "ecocharge/internal/lintfixture/internal/cknn"},
 		// ctxflow's loop rule only fires in server/worker packages; pose as
 		// internal/eis so both rules are active.
-		{CtxFlow, "ecocharge/internal/lintfixture/internal/eis"},
-		{BareDirective, "ecocharge/internal/lintfixture/baredirective"},
+		{analyzer: CtxFlow, importPath: "ecocharge/internal/lintfixture/internal/eis"},
+		{analyzer: BareDirective, importPath: "ecocharge/internal/lintfixture/baredirective"},
 	}
 	for _, tc := range cases {
-		t.Run(tc.analyzer.Name, func(t *testing.T) {
-			dir := filepath.Join("testdata", "src", tc.analyzer.Name)
+		name := tc.dir
+		if name == "" {
+			name = tc.analyzer.Name
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
 			pkg, err := LoadDir(dir, tc.importPath)
 			if err != nil {
 				t.Fatalf("LoadDir(%s): %v", dir, err)

@@ -1,0 +1,35 @@
+// Package fixture exercises the hotalloc analyzer's wire scope: the file
+// poses as part of internal/wire (see the import path in lint_test.go),
+// where reflection-based encoding imports and map types are flagged — the
+// codec stays alloc-free by hand-marshalling in fixed field order.
+package fixture
+
+import (
+	"encoding/json" // flagged: reflection-based encoding in the codec
+	"reflect"       // flagged: same
+)
+
+// BadMarshal reintroduces the reflective encoder the format replaced.
+func BadMarshal(v interface{}) ([]byte, error) { return json.Marshal(v) }
+
+// BadWalk pokes at runtime type information instead of fixed field order.
+func BadWalk(v interface{}) string { return reflect.TypeOf(v).Kind().String() }
+
+// BadScratch allocates a per-call map on the decode path: both the result
+// type and the make type are flagged.
+func BadScratch() map[string]float64 {
+	return make(map[string]float64, 4)
+}
+
+// GoodAppend is the intended shape: fixed field order into a caller-owned
+// buffer, no maps, no reflection.
+func GoodAppend(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// SuppressedWitness stands in for a JSON-only response type kept off the
+// binary plane, where the escape hatch documents why the map is fine.
+type SuppressedWitness struct {
+	//ecolint:ignore hotalloc JSON-only response type: never travels binary
+	M map[string]string
+}

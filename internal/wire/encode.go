@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"ecocharge/internal/charger"
+)
+
+// Append-style encoders: every function appends one message (or one field)
+// to b and returns the grown slice, so callers encode into pooled buffers
+// with zero steady-state allocations. No reflection anywhere — each struct
+// is written field by field in declaration order.
+
+func appendHeader(b []byte, kind byte) []byte {
+	return append(b, magic, version, kind)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return appendU64(b, uint64(v))
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// appendVarint zigzag-encodes a signed integer so small magnitudes of
+// either sign stay short.
+func appendVarint(b []byte, v int64) []byte {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return appendUvarint(b, uv)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendTime encodes the wall clock as seconds + nanoseconds + zone offset
+// (16 bytes). Carrying the offset — not just an instant — makes the decoded
+// time render the same RFC 3339 string the original did, which is what the
+// JSON-equivalence contract needs; the monotonic reading is dropped exactly
+// like encoding/json drops it.
+func appendTime(b []byte, t time.Time) []byte {
+	_, off := t.Zone()
+	b = appendI64(b, t.Unix())
+	b = appendU32(b, uint32(t.Nanosecond()))
+	return appendU32(b, uint32(int32(off)))
+}
+
+func appendInterval(b []byte, iv IntervalJSON) []byte {
+	b = appendF64(b, iv.Min)
+	return appendF64(b, iv.Max)
+}
+
+// AppendOfferingRequest appends the binary form of a Mode 2 request.
+func AppendOfferingRequest(b []byte, req *OfferingRequest) []byte {
+	b = appendHeader(b, kindOfferingRequest)
+	b = appendF64(b, req.Lat)
+	b = appendF64(b, req.Lon)
+	b = appendVarint(b, int64(req.K))
+	b = appendF64(b, req.RadiusM)
+	b = appendF64(b, req.Weights.L)
+	b = appendF64(b, req.Weights.A)
+	b = appendF64(b, req.Weights.D)
+	b = appendTime(b, req.Now)
+	return appendTime(b, req.ETA)
+}
+
+func appendEntry(b []byte, e *OfferingEntry) []byte {
+	b = appendI64(b, e.ChargerID)
+	b = appendF64(b, e.Lat)
+	b = appendF64(b, e.Lon)
+	b = appendF64(b, e.RateKW)
+	b = appendInterval(b, e.SC)
+	b = appendInterval(b, e.L)
+	b = appendInterval(b, e.A)
+	b = appendInterval(b, e.D)
+	b = appendTime(b, e.ETA)
+	return append(b, e.Degraded)
+}
+
+// AppendOfferingResponse appends the binary form of a Mode 2 response. A
+// nil entry slice is distinguished from an empty one so the re-encoded JSON
+// stays byte-identical ("entries":null vs []).
+func AppendOfferingResponse(b []byte, resp *OfferingResponse) []byte {
+	b = appendHeader(b, kindOfferingResponse)
+	if resp.Entries == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = appendUvarint(b, uint64(len(resp.Entries)))
+		for i := range resp.Entries {
+			b = appendEntry(b, &resp.Entries[i])
+		}
+	}
+	b = appendTime(b, resp.GeneratedAt)
+	return appendBool(b, resp.Cached)
+}
+
+func appendCharger(b []byte, c *charger.Charger) []byte {
+	b = appendI64(b, c.ID)
+	b = appendF64(b, c.P.Lat)
+	b = appendF64(b, c.P.Lon)
+	b = appendU32(b, uint32(int32(c.Node)))
+	// The rate travels as nominal kW and decodes through the same
+	// nearest-class recovery the JSON codec uses, so both formats project
+	// identically.
+	b = appendF64(b, c.Rate.KW())
+	b = appendF64(b, c.PanelKW)
+	b = appendF64(b, c.WindKW)
+	b = appendVarint(b, int64(c.Plugs))
+	for d := 0; d < 7; d++ {
+		for h := 0; h < 24; h++ {
+			b = appendF64(b, c.Timetable[d][h])
+		}
+	}
+	return b
+}
+
+// AppendChargers appends the binary form of a charger list (the inventory
+// and radius-query payloads).
+func AppendChargers(b []byte, cs []charger.Charger) []byte {
+	b = appendHeader(b, kindChargers)
+	if cs == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendUvarint(b, uint64(len(cs)))
+	for i := range cs {
+		b = appendCharger(b, &cs[i])
+	}
+	return b
+}
+
+// AppendChargerRefs is AppendChargers over a pointer slice (the shape the
+// radius query returns); the encoded bytes are identical.
+func AppendChargerRefs(b []byte, cs []*charger.Charger) []byte {
+	b = appendHeader(b, kindChargers)
+	if cs == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendUvarint(b, uint64(len(cs)))
+	for _, c := range cs {
+		b = appendCharger(b, c)
+	}
+	return b
+}
+
+// AppendWeather appends the binary form of a production-forecast lookup.
+func AppendWeather(b []byte, resp *WeatherResponse) []byte {
+	b = appendHeader(b, kindWeather)
+	b = appendI64(b, resp.ChargerID)
+	b = appendTime(b, resp.At)
+	return appendInterval(b, resp.ProductionKW)
+}
+
+// AppendAvailability appends the binary form of an availability lookup.
+func AppendAvailability(b []byte, resp *AvailabilityResponse) []byte {
+	b = appendHeader(b, kindAvailability)
+	b = appendI64(b, resp.ChargerID)
+	b = appendTime(b, resp.At)
+	return appendInterval(b, resp.Availability)
+}

@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/geo"
+	"ecocharge/internal/roadnet"
+)
+
+// fuzzTime builds a time from fuzzed parts, rejecting anything RFC 3339
+// cannot render canonically: the wire's equality contract is "re-encoded
+// JSON is byte-identical", so inputs outside JSON's own domain are skipped,
+// not failed.
+func fuzzTime(sec int64, nsec uint32, offMin int32) (time.Time, bool) {
+	if sec < 0 || sec > 4_000_000_000 || nsec >= 1_000_000_000 {
+		return time.Time{}, false
+	}
+	off := int(offMin) * 60
+	if off < -14*3600 || off > 14*3600 {
+		return time.Time{}, false
+	}
+	loc := time.UTC
+	if off != 0 {
+		loc = time.FixedZone("", off)
+	}
+	return time.Unix(sec, int64(nsec)).In(loc), true
+}
+
+func finite(fs ...float64) bool {
+	for _, f := range fs {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzWireRoundTrip is the codec's central correctness pin: for any valid
+// domain value, binary encode→decode must reproduce the exact JSON bytes
+// the original would have produced, and a JSON round trip must wire-encode
+// to the same binary bytes. Either direction drifting means the two
+// content types no longer describe the same response.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(53.07, 8.81, 5, 25000.0, 0.5, 0.25, 0.25,
+		int64(1718702000), uint32(0), int32(0),
+		int64(42), 0.1, 0.9, int64(1718703000), uint32(123456789), int32(120), uint8(3), true)
+	f.Add(-10.0, 170.0, 1, 1.0, 1.0, 0.0, 0.0,
+		int64(0), uint32(1), int32(-840),
+		int64(-1), 0.0, 1.0, int64(4_000_000_000), uint32(999_999_999), int32(840), uint8(255), false)
+	f.Fuzz(func(t *testing.T,
+		lat, lon float64, k int, radius, wl, wa, wd float64,
+		nowSec int64, nowNsec uint32, nowOff int32,
+		chargerID int64, scMin, scMax float64,
+		etaSec int64, etaNsec uint32, etaOff int32,
+		degraded uint8, cached bool,
+	) {
+		if !finite(lat, lon, radius, wl, wa, wd, scMin, scMax) {
+			t.Skip("non-finite input is JSON-unrepresentable")
+		}
+		now, ok := fuzzTime(nowSec, nowNsec, nowOff)
+		if !ok {
+			t.Skip("time outside the RFC 3339 domain")
+		}
+		eta, ok := fuzzTime(etaSec, etaNsec, etaOff)
+		if !ok {
+			t.Skip("time outside the RFC 3339 domain")
+		}
+
+		req := OfferingRequest{
+			Lat: lat, Lon: lon, K: k, RadiusM: radius,
+			Weights: WeightsJSON{L: wl, A: wa, D: wd},
+			Now:     now, ETA: eta,
+		}
+		var reqOut OfferingRequest
+		if err := DecodeOfferingRequest(AppendOfferingRequest(nil, &req), &reqOut); err != nil {
+			t.Fatalf("request decode: %v", err)
+		}
+		assertFuzzJSONEqual(t, "request", &req, &reqOut)
+
+		resp := OfferingResponse{
+			Entries: []OfferingEntry{{
+				ChargerID: chargerID, Lat: lat, Lon: lon, RateKW: radius,
+				SC:  IntervalJSON{Min: scMin, Max: scMax},
+				L:   IntervalJSON{Min: wl, Max: wl},
+				A:   IntervalJSON{Min: wa, Max: wa},
+				D:   IntervalJSON{Min: wd, Max: wd},
+				ETA: eta, Degraded: degraded,
+			}},
+			GeneratedAt: now, Cached: cached,
+		}
+		var respOut OfferingResponse
+		enc := AppendOfferingResponse(nil, &resp)
+		if err := DecodeOfferingResponse(enc, &respOut); err != nil {
+			t.Fatalf("response decode: %v", err)
+		}
+		assertFuzzJSONEqual(t, "response", &resp, &respOut)
+
+		// JSON round trip, then wire-encode both sides: the binary rendering
+		// must be independent of which plane the value last travelled.
+		jb, err := json.Marshal(&resp)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var viaJSON OfferingResponse
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !bytes.Equal(enc, AppendOfferingResponse(nil, &viaJSON)) {
+			t.Fatalf("wire bytes differ after a JSON round trip\njson: %s", jb)
+		}
+
+		// Charger inventory leg, gated on coordinates the domain accepts.
+		p := geo.Point{Lat: lat, Lon: lon}
+		if !p.Valid() || radius < 0 {
+			return
+		}
+		cs := []charger.Charger{{
+			ID: chargerID, P: p, Node: roadnet.NodeID(int32(k)),
+			Rate: charger.RateFromKW(radius), PanelKW: wl, WindKW: wa,
+			Plugs: int(degraded),
+		}}
+		cs[0].Timetable[int(degraded)%7][int(degraded)%24] = wd
+		csOut, err := DecodeChargers(AppendChargers(nil, cs), nil)
+		if err != nil {
+			t.Fatalf("chargers decode: %v", err)
+		}
+		assertFuzzJSONEqual(t, "chargers", cs, csOut)
+	})
+}
+
+func assertFuzzJSONEqual(t *testing.T, leg string, want, got interface{}) {
+	t.Helper()
+	wb, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("%s: marshal want: %v", leg, err)
+	}
+	gb, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("%s: marshal got: %v", leg, err)
+	}
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("%s: JSON drift across the binary plane\nwant %s\ngot  %s", leg, wb, gb)
+	}
+}
+
+// FuzzWireDecode throws raw bytes at every decoder: none may panic, and
+// anything that decodes must re-encode and decode again to the same value
+// (idempotence — the decoder accepts nothing it cannot reproduce).
+func FuzzWireDecode(f *testing.F) {
+	req := sampleRequest()
+	resp := sampleResponse(2)
+	f.Add(AppendOfferingRequest(nil, &req))
+	f.Add(AppendOfferingResponse(nil, &resp))
+	f.Add(AppendChargers(nil, sampleChargers(1)))
+	f.Add(AppendWeather(nil, &WeatherResponse{ChargerID: 1, At: utcNow}))
+	f.Add([]byte{magic, version, kindChargers, 1, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var reqOut OfferingRequest
+		if err := DecodeOfferingRequest(data, &reqOut); err == nil {
+			var again OfferingRequest
+			if err := DecodeOfferingRequest(AppendOfferingRequest(nil, &reqOut), &again); err != nil {
+				t.Fatalf("request re-decode: %v", err)
+			}
+			assertFuzzJSONEqual(t, "request", &reqOut, &again)
+		}
+		var respOut OfferingResponse
+		if err := DecodeOfferingResponse(data, &respOut); err == nil {
+			var again OfferingResponse
+			if err := DecodeOfferingResponse(AppendOfferingResponse(nil, &respOut), &again); err != nil {
+				t.Fatalf("response re-decode: %v", err)
+			}
+			assertFuzzJSONEqual(t, "response", &respOut, &again)
+		}
+		if cs, err := DecodeChargers(data, nil); err == nil {
+			if _, err := DecodeChargers(AppendChargers(nil, cs), nil); err != nil {
+				t.Fatalf("chargers re-decode: %v", err)
+			}
+		}
+		var w WeatherResponse
+		_ = DecodeWeather(data, &w)
+		var a AvailabilityResponse
+		_ = DecodeAvailability(data, &a)
+	})
+}
+
+// FuzzOfferingJSONRoundTrip pins the JSON plane itself: marshal→unmarshal→
+// marshal must be byte-stable for any domain response, so cached JSON
+// bodies and freshly encoded ones can be compared byte-wise.
+func FuzzOfferingJSONRoundTrip(f *testing.F) {
+	f.Add(int64(42), 53.07, 8.81, 150.0, 0.25, 0.75,
+		int64(1718702000), uint32(500), int32(60), uint8(0), true, false)
+	f.Add(int64(-7), -90.0, 180.0, 0.0, 1.0, 0.0,
+		int64(0), uint32(0), int32(0), uint8(255), false, true)
+	f.Fuzz(func(t *testing.T,
+		id int64, lat, lon, rate, lo, hi float64,
+		sec int64, nsec uint32, offMin int32,
+		degraded uint8, cached, nilEntries bool,
+	) {
+		if !finite(lat, lon, rate, lo, hi) {
+			t.Skip("non-finite input is JSON-unrepresentable")
+		}
+		ts, ok := fuzzTime(sec, nsec, offMin)
+		if !ok {
+			t.Skip("time outside the RFC 3339 domain")
+		}
+		resp := OfferingResponse{GeneratedAt: ts, Cached: cached}
+		if !nilEntries {
+			resp.Entries = []OfferingEntry{{
+				ChargerID: id, Lat: lat, Lon: lon, RateKW: rate,
+				SC:  IntervalJSON{Min: lo, Max: hi},
+				L:   IntervalJSON{Min: lo, Max: hi},
+				A:   IntervalJSON{Min: lo, Max: hi},
+				D:   IntervalJSON{Min: lo, Max: hi},
+				ETA: ts, Degraded: degraded,
+			}}
+		}
+		first, err := json.Marshal(&resp)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back OfferingResponse
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		second, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("JSON round trip unstable\nfirst  %s\nsecond %s", first, second)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"time"
+
+	"ecocharge/internal/interval"
+)
+
+// This file holds the wire types of the EIS API. They moved here from
+// internal/eis so the binary codec below them and the fleet gateway's merge
+// can share one definition without an import cycle; internal/eis aliases
+// them back (eis.OfferingResponse = wire.OfferingResponse), so the HTTP
+// surface and every existing caller are unchanged. The JSON tags are the
+// canonical wire contract; the binary codec encodes exactly these structs.
+
+// IntervalJSON is the wire form of an interval estimate.
+type IntervalJSON struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// ToWire converts an interval estimate to its wire form.
+func ToWire(i interval.I) IntervalJSON { return IntervalJSON{Min: i.Min, Max: i.Max} }
+
+// Interval converts the wire form back to an interval estimate.
+func (i IntervalJSON) Interval() interval.I { return interval.FromBounds(i.Min, i.Max) }
+
+// WeightsJSON is the wire form of the SC weights.
+type WeightsJSON struct {
+	L float64 `json:"l"`
+	A float64 `json:"a"`
+	D float64 `json:"d"`
+}
+
+// OfferingRequest asks the EIS for an Offering Table (Mode 2).
+type OfferingRequest struct {
+	Lat     float64     `json:"lat"`
+	Lon     float64     `json:"lon"`
+	K       int         `json:"k"`
+	RadiusM float64     `json:"radius_m"`
+	Weights WeightsJSON `json:"weights"`
+	// Now is when the estimate is issued; zero means server time.
+	Now time.Time `json:"now"`
+	// ETA is the arrival time at the query point; zero means Now.
+	ETA time.Time `json:"eta"`
+}
+
+// OfferingEntry is one ranked charger of the response.
+type OfferingEntry struct {
+	ChargerID int64        `json:"charger_id"`
+	Lat       float64      `json:"lat"`
+	Lon       float64      `json:"lon"`
+	RateKW    float64      `json:"rate_kw"`
+	SC        IntervalJSON `json:"sc"`
+	L         IntervalJSON `json:"l"`
+	A         IntervalJSON `json:"a"`
+	D         IntervalJSON `json:"d"`
+	ETA       time.Time    `json:"eta"`
+	// Degraded is the cknn.Degraded bitmask of the entry: bit 0 = L,
+	// bit 1 = A, bit 2 = D. A set bit means that component's backing source
+	// failed and the interval above is the [0,1] ignorance bound, not an
+	// estimate. Omitted (0) when every component was estimated.
+	Degraded uint8 `json:"degraded,omitempty"`
+}
+
+// OfferingResponse is the Mode 2 result.
+type OfferingResponse struct {
+	Entries     []OfferingEntry `json:"entries"`
+	GeneratedAt time.Time       `json:"generated_at"`
+	Cached      bool            `json:"cached"` // served from the server-side dynamic cache
+}
+
+// WeatherResponse reports the production forecast of one charger site.
+type WeatherResponse struct {
+	ChargerID    int64        `json:"charger_id"`
+	At           time.Time    `json:"at"`
+	ProductionKW IntervalJSON `json:"production_kw"`
+}
+
+// AvailabilityResponse reports the availability estimate of one charger.
+type AvailabilityResponse struct {
+	ChargerID    int64        `json:"charger_id"`
+	At           time.Time    `json:"at"`
+	Availability IntervalJSON `json:"availability"`
+}
+
+// TrafficResponse reports the congestion multiplier band per road class.
+// It stays JSON-only on the wire: the map-shaped body is tiny, fleet-global,
+// and nowhere near the fan-out hot path.
+type TrafficResponse struct {
+	At time.Time `json:"at"`
+	//ecolint:ignore hotalloc JSON-only response type: traffic never travels binary, the map is the endpoint's contract
+	Multiplier map[string]IntervalJSON `json:"multiplier"`
+}
+
+// ErrorResponse is the JSON body of non-2xx responses. Errors are always
+// JSON, even when the request negotiated binary: failure bodies are cold
+// and must stay curl-readable.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
