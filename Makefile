@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint chaos chaos-fleet fuzz bench bench-smoke bench-diff cover figures examples clean
+.PHONY: all build test race vet lint chaos chaos-fleet fuzz bench bench-smoke bench-diff load-smoke cover figures examples clean
 
-all: build vet lint test chaos chaos-fleet bench-smoke
+all: build vet lint test chaos chaos-fleet bench-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,20 @@ bench-diff:
 	$(GO) run ./cmd/ecobench -fig serve -dataset Oldenburg -workers 1 -wire -json bench-serve.json
 	$(GO) run ./cmd/benchdiff -seed BENCH_pr9.json -current bench-serve.json -slack-ms 1.0 -report bench-serve-diff.txt
 
+# Open-loop load smoke: a seconds-scale rate sweep of the in-process 3-shard
+# gateway on both interchange planes, emitting the benchdiff-comparable knee
+# artifact (fig "load-knee"; see docs/perf.md "Load testing"). The diff vs
+# the committed BENCH_load.json baseline gates primarily on goodput collapse
+# (valid answers/s per rate step); the latency tolerance is deliberately
+# loose because absolute p99 varies across CI machines, while goodput at
+# unsaturated rates tracks the offered rate on any box.
+load-smoke:
+	$(GO) run ./cmd/loadgen -profile Oldenburg -scale 0.005 -seed 42 \
+		-rate-sweep 50,100,200 -step-duration 2s -json load-knee.json
+	$(GO) run ./cmd/benchdiff -seed BENCH_load.json -current load-knee.json \
+		-tolerance 5.0 -slack-ms 50 -goodput-tolerance 0.5 -goodput-slack 20 \
+		-report load-diff.txt
+
 # Coverage gate: aggregate statement coverage across every package against a
 # ratcheted floor — raise it when coverage improves, never lower it. The
 # profile (cover.out) is uploaded as a CI artifact for drill-down.
@@ -105,4 +119,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt bench-smoke.json bench-current.json bench-diff.txt bench-serve.json bench-serve-diff.txt cover.out
+	rm -f test_output.txt bench_output.txt bench-smoke.json bench-current.json bench-diff.txt bench-serve.json bench-serve-diff.txt load-knee.json load-diff.txt cover.out

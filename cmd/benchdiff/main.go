@@ -19,7 +19,10 @@ import (
 )
 
 // row mirrors the ecobench benchRow export shape; unknown fields are
-// ignored so the tool reads old and new exports alike.
+// ignored so the tool reads old and new exports alike. Goodput is the
+// loadgen export's valid-answers-per-second column: zero on ecobench rows
+// (absent field), so the goodput gate only engages on load rows where
+// both files carry it.
 type row struct {
 	Fig     string  `json:"fig"`
 	Dataset string  `json:"dataset"`
@@ -27,6 +30,7 @@ type row struct {
 	Config  string  `json:"config"`
 	SCPct   float64 `json:"sc_pct"`
 	FtMs    float64 `json:"ft_ms"`
+	Goodput float64 `json:"goodput"`
 }
 
 func (r row) key() string {
@@ -35,12 +39,13 @@ func (r row) key() string {
 
 // delta is one seed-vs-current comparison.
 type delta struct {
-	key       string
-	seed, cur row
-	pct       float64 // ft_ms change in percent; positive = slower
-	regressed bool
-	onlyInOne bool
-	missingIn string
+	key        string
+	seed, cur  row
+	pct        float64 // ft_ms change in percent; positive = slower
+	regressed  bool
+	goodputHit bool // the goodput gate (not just ft_ms) tripped
+	onlyInOne  bool
+	missingIn  string
 }
 
 func main() {
@@ -49,6 +54,8 @@ func main() {
 		curPath  = flag.String("current", "bench-current.json", "current ecobench -json export")
 		tol      = flag.Float64("tolerance", 0.10, "relative ft_ms regression tolerance (0.10 = +10%)")
 		slackMs  = flag.Float64("slack-ms", 0.25, "absolute ft_ms slack: smaller deltas never count as regressions (absorbs timer noise on sub-ms methods)")
+		gtol     = flag.Float64("goodput-tolerance", 0.15, "relative goodput regression tolerance (0.15 = -15%); only applied to rows where both files report goodput")
+		gslack   = flag.Float64("goodput-slack", 5.0, "absolute goodput slack in answers/s: smaller drops never count as regressions")
 		report   = flag.String("report", "", "also write the text report to this file")
 	)
 	flag.Parse()
@@ -61,7 +68,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	deltas := compare(seed, cur, *tol, *slackMs)
+	deltas := compare(seed, cur, gates{tol: *tol, slackMs: *slackMs, gtol: *gtol, gslack: *gslack})
 
 	var b strings.Builder
 	render(&b, *seedPath, *curPath, deltas, *tol, *slackMs)
@@ -73,7 +80,7 @@ func main() {
 	}
 	for _, d := range deltas {
 		if d.regressed {
-			fmt.Fprintln(os.Stderr, "benchdiff: ft_ms regression beyond tolerance")
+			fmt.Fprintln(os.Stderr, "benchdiff: regression beyond tolerance")
 			os.Exit(1)
 		}
 	}
@@ -105,11 +112,21 @@ func readRows(path string) (map[string]row, error) {
 	return out, nil
 }
 
+// gates bundles the regression thresholds. ft_ms regresses upward
+// (slower), goodput regresses downward (fewer valid answers per second);
+// each gate needs both its relative tolerance and absolute slack exceeded.
+type gates struct {
+	tol, slackMs float64 // ft_ms: relative tolerance + absolute ms slack
+	gtol, gslack float64 // goodput: relative tolerance + absolute answers/s slack
+}
+
 // compare pairs rows by (fig, dataset, method, config) and marks a
 // regression when current ft_ms exceeds seed by more than the relative
-// tolerance AND the absolute slack. Rows present in only one file are
-// reported but never fail the run (method sets may evolve across PRs).
-func compare(seed, cur map[string]row, tol, slackMs float64) []delta {
+// tolerance AND the absolute slack, or — on rows where both files report
+// goodput — when current goodput drops below seed by more than the goodput
+// tolerance AND slack. Rows present in only one file are reported but
+// never fail the run (method sets may evolve across PRs).
+func compare(seed, cur map[string]row, g gates) []delta {
 	keys := make(map[string]bool, len(seed)+len(cur))
 	for k := range seed {
 		keys[k] = true
@@ -131,7 +148,11 @@ func compare(seed, cur map[string]row, tol, slackMs float64) []delta {
 			if s.FtMs > 0 {
 				d.pct = (c.FtMs - s.FtMs) / s.FtMs * 100
 			}
-			d.regressed = c.FtMs > s.FtMs*(1+tol) && c.FtMs-s.FtMs > slackMs
+			d.regressed = c.FtMs > s.FtMs*(1+g.tol) && c.FtMs-s.FtMs > g.slackMs
+			if s.Goodput > 0 && c.Goodput > 0 &&
+				c.Goodput < s.Goodput*(1-g.gtol) && s.Goodput-c.Goodput > g.gslack {
+				d.regressed, d.goodputHit = true, true
+			}
 		}
 		out = append(out, d)
 	}
@@ -141,20 +162,27 @@ func compare(seed, cur map[string]row, tol, slackMs float64) []delta {
 
 func render(w io.Writer, seedPath, curPath string, deltas []delta, tol, slackMs float64) {
 	_, _ = fmt.Fprintf(w, "benchdiff: %s vs %s (tolerance +%.0f%%, slack %.2f ms)\n\n", seedPath, curPath, tol*100, slackMs)
-	_, _ = fmt.Fprintf(w, "%-44s %10s %10s %8s %8s  %s\n", "fig|dataset|method|config", "seed ms", "cur ms", "Δ%", "sc_pct", "status")
+	_, _ = fmt.Fprintf(w, "%-44s %10s %10s %8s %8s %9s  %s\n", "fig|dataset|method|config", "seed ms", "cur ms", "Δ%", "sc_pct", "goodput", "status")
 	for _, d := range deltas {
 		if d.onlyInOne {
-			_, _ = fmt.Fprintf(w, "%-44s %10s %10s %8s %8s  only in %s\n", d.key, "-", "-", "-", "-",
+			_, _ = fmt.Fprintf(w, "%-44s %10s %10s %8s %8s %9s  only in %s\n", d.key, "-", "-", "-", "-", "-",
 				map[string]string{"seed": "current file", "current": "seed file"}[d.missingIn])
 			continue
 		}
 		status := "ok"
-		if d.regressed {
+		switch {
+		case d.regressed && d.goodputHit:
+			status = "REGRESSED (goodput)"
+		case d.regressed:
 			status = "REGRESSED"
-		} else if d.pct < -5 {
+		case d.pct < -5:
 			status = "improved"
 		}
-		_, _ = fmt.Fprintf(w, "%-44s %10.3f %10.3f %+7.1f%% %8.1f  %s\n",
-			d.key, d.seed.FtMs, d.cur.FtMs, d.pct, d.cur.SCPct, status)
+		goodput := "-"
+		if d.seed.Goodput > 0 || d.cur.Goodput > 0 {
+			goodput = fmt.Sprintf("%.1f/s", d.cur.Goodput)
+		}
+		_, _ = fmt.Fprintf(w, "%-44s %10.3f %10.3f %+7.1f%% %8.1f %9s  %s\n",
+			d.key, d.seed.FtMs, d.cur.FtMs, d.pct, d.cur.SCPct, goodput, status)
 	}
 }

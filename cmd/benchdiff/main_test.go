@@ -1,12 +1,18 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func mkRow(method string, ft float64) row {
 	return row{Fig: "6", Dataset: "Oldenburg", Method: method, FtMs: ft}
+}
+
+func mkLoadRow(method string, ft, goodput float64) row {
+	return row{Fig: "load-knee", Dataset: "Oldenburg", Method: method, Config: "rate=200", FtMs: ft, Goodput: goodput}
 }
 
 func byKey(ds []delta) map[string]delta {
@@ -16,6 +22,8 @@ func byKey(ds []delta) map[string]delta {
 	}
 	return out
 }
+
+var testGates = gates{tol: 0.10, slackMs: 0.25, gtol: 0.15, gslack: 5.0}
 
 func TestCompareRegressionRules(t *testing.T) {
 	seed := map[string]row{}
@@ -32,7 +40,7 @@ func TestCompareRegressionRules(t *testing.T) {
 	add(mkRow("Better", 4.0), cur)
 	add(mkRow("New", 1.0), cur) // only in current: reported, not failed
 
-	ds := byKey(compare(seed, cur, 0.10, 0.25))
+	ds := byKey(compare(seed, cur, testGates))
 	if ds["6|Oldenburg|Fast|"].regressed {
 		t.Error("sub-slack delta flagged as regression")
 	}
@@ -50,12 +58,96 @@ func TestCompareRegressionRules(t *testing.T) {
 	}
 }
 
+func TestCompareGoodputRules(t *testing.T) {
+	seed := map[string]row{}
+	cur := map[string]row{}
+	add := func(m row, into map[string]row) { into[m.key()] = m }
+
+	// Goodput collapsed 200 -> 120 (-40%, beyond slack): regression even
+	// though ft_ms is unchanged.
+	add(mkLoadRow("Drop", 5.0, 200), seed)
+	add(mkLoadRow("Drop", 5.0, 120), cur)
+	// -10% is inside the 15% tolerance.
+	add(mkLoadRow("Tol", 5.0, 200), seed)
+	add(mkLoadRow("Tol", 5.0, 180), cur)
+	// -50% relative but only 2/s absolute: inside the slack.
+	add(mkLoadRow("Slack", 5.0, 4), seed)
+	add(mkLoadRow("Slack", 5.0, 2), cur)
+	// Goodput improved and ft_ms steady: clean.
+	add(mkLoadRow("Up", 5.0, 200), seed)
+	add(mkLoadRow("Up", 5.0, 260), cur)
+	// Seed row has no goodput (old ecobench export): gate must not engage
+	// no matter what the current row reports.
+	add(mkLoadRow("Legacy", 5.0, 0), seed)
+	add(mkLoadRow("Legacy", 5.0, 1), cur)
+
+	ds := byKey(compare(seed, cur, testGates))
+	if d := ds["load-knee|Oldenburg|Drop|rate=200"]; !d.regressed || !d.goodputHit {
+		t.Errorf("goodput collapse not flagged: %+v", d)
+	}
+	if d := ds["load-knee|Oldenburg|Tol|rate=200"]; d.regressed {
+		t.Errorf("inside-tolerance goodput dip flagged: %+v", d)
+	}
+	if d := ds["load-knee|Oldenburg|Slack|rate=200"]; d.regressed {
+		t.Errorf("sub-slack goodput dip flagged: %+v", d)
+	}
+	if d := ds["load-knee|Oldenburg|Up|rate=200"]; d.regressed {
+		t.Errorf("goodput improvement flagged: %+v", d)
+	}
+	if d := ds["load-knee|Oldenburg|Legacy|rate=200"]; d.regressed || d.goodputHit {
+		t.Errorf("goodput gate engaged on a row without seed goodput: %+v", d)
+	}
+}
+
 func TestRenderMentionsRegression(t *testing.T) {
 	seed := map[string]row{mkRow("M", 10).key(): mkRow("M", 10)}
 	cur := map[string]row{mkRow("M", 20).key(): mkRow("M", 20)}
 	var b strings.Builder
-	render(&b, "s.json", "c.json", compare(seed, cur, 0.10, 0.25), 0.10, 0.25)
+	render(&b, "s.json", "c.json", compare(seed, cur, testGates), 0.10, 0.25)
 	if !strings.Contains(b.String(), "REGRESSED") {
 		t.Fatalf("report lacks REGRESSED marker:\n%s", b.String())
+	}
+}
+
+func TestRenderMentionsGoodputRegression(t *testing.T) {
+	s := mkLoadRow("M", 5, 200)
+	c := mkLoadRow("M", 5, 100)
+	seed := map[string]row{s.key(): s}
+	cur := map[string]row{c.key(): c}
+	var b strings.Builder
+	render(&b, "s.json", "c.json", compare(seed, cur, testGates), 0.10, 0.25)
+	if !strings.Contains(b.String(), "REGRESSED (goodput)") {
+		t.Fatalf("report lacks goodput regression marker:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "100.0/s") {
+		t.Fatalf("report lacks goodput column:\n%s", b.String())
+	}
+}
+
+func TestReadRows(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rows.json")
+	if err := os.WriteFile(path, []byte(`[
+		{"fig":"6","dataset":"D","method":"M","config":"","ft_ms":1.5,"goodput":10}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := readRows(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := rows["6|D|M|"]
+	if !ok || r.FtMs != 1.5 || r.Goodput != 10 {
+		t.Fatalf("row mis-keyed or mis-read: %+v", rows)
+	}
+	if _, err := readRows(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRows(bad); err == nil {
+		t.Fatal("malformed file accepted")
 	}
 }

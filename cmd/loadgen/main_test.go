@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"ecocharge/internal/load"
+)
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("50, 100,200", 0)
+	if err != nil || len(got) != 3 || got[0] != 50 || got[2] != 200 {
+		t.Fatalf("parseRates sweep: %v, %v", got, err)
+	}
+	got, err = parseRates("", 75)
+	if err != nil || len(got) != 1 || got[0] != 75 {
+		t.Fatalf("parseRates single: %v, %v", got, err)
+	}
+	for _, bad := range []string{"50,abc", "50,-1", "0"} {
+		if _, err := parseRates(bad, 0); err == nil {
+			t.Fatalf("parseRates(%q) accepted", bad)
+		}
+	}
+	if _, err := parseRates("", 0); err == nil {
+		t.Fatal("zero single rate accepted")
+	}
+}
+
+func TestParsePlanes(t *testing.T) {
+	if p, err := parsePlanes("json"); err != nil || len(p) != 1 || p[0] != load.PlaneJSON {
+		t.Fatalf("json: %v, %v", p, err)
+	}
+	if p, err := parsePlanes("wire"); err != nil || len(p) != 1 || p[0] != load.PlaneWire {
+		t.Fatalf("wire: %v, %v", p, err)
+	}
+	if p, err := parsePlanes("both"); err != nil || len(p) != 2 {
+		t.Fatalf("both: %v, %v", p, err)
+	}
+	if _, err := parsePlanes("telepathy"); err == nil {
+		t.Fatal("unknown plane accepted")
+	}
+}
+
+func TestBuildSchedule(t *testing.T) {
+	p, err := buildSchedule("poisson", 100, 50, 1)
+	if err != nil || len(p) != 50 {
+		t.Fatalf("poisson: %d arrivals, %v", len(p), err)
+	}
+	c, err := buildSchedule("constant", 100, 50, 1)
+	if err != nil || len(c) != 50 {
+		t.Fatalf("constant: %d arrivals, %v", len(c), err)
+	}
+	if _, err := buildSchedule("uniform", 100, 50, 1); err == nil {
+		t.Fatal("unknown arrival process accepted")
+	}
+}

@@ -65,7 +65,14 @@ type ClientOptions struct {
 
 func (o ClientOptions) withDefaults() ClientOptions {
 	if o.HTTPClient == nil {
-		o.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+		// The zero-config client gets the load-ready transport: the stdlib
+		// default's 2 idle connections per host would re-dial TCP under any
+		// real concurrency, and the wire plane skips gzip (binary payloads
+		// don't compress usefully).
+		o.HTTPClient = &http.Client{
+			Timeout:   10 * time.Second,
+			Transport: DefaultTransport(64, o.Wire),
+		}
 	}
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 3

@@ -52,6 +52,24 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+func TestInventoryEndpoint(t *testing.T) {
+	_, client, env := testServer(t)
+	got, err := client.Inventory(context.Background())
+	if err != nil {
+		t.Fatalf("Inventory: %v", err)
+	}
+	if len(got) != env.Chargers.Len() {
+		t.Fatalf("inventory returned %d chargers, want %d", len(got), env.Chargers.Len())
+	}
+	seen := make(map[int64]bool, len(got))
+	for _, c := range got {
+		if seen[c.ID] {
+			t.Fatalf("duplicate charger %d in inventory", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
 func TestChargersEndpoint(t *testing.T) {
 	_, client, env := testServer(t)
 	center := env.Graph.Bounds().Center()

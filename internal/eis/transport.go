@@ -1,0 +1,35 @@
+package eis
+
+import (
+	"net/http"
+	"time"
+)
+
+// DefaultTransport returns an *http.Transport tuned for sustained
+// many-request traffic against one EIS or gateway host. The stdlib
+// http.DefaultTransport caps idle connections at 2 per host
+// (DefaultMaxIdleConnsPerHost), so anything beyond 2 concurrent workers
+// tears down and re-dials TCP connections on every exchange — under a load
+// run that measures handshakes, not the service. The returned transport
+// keeps up to maxConns idle connections per host (floored at 2).
+//
+// disableCompression should be true on the binary wire plane: the wire
+// codec's payloads don't gzip usefully, and transparent compression both
+// hides the real transfer size and burns CPU in the measurement path. The
+// JSON plane keeps compression on, matching what a production JSON client
+// would negotiate.
+func DefaultTransport(maxConns int, disableCompression bool) *http.Transport {
+	if maxConns < 2 {
+		maxConns = 2
+	}
+	return &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        maxConns * 2,
+		MaxIdleConnsPerHost: maxConns,
+		MaxConnsPerHost:     0, // in-flight bounding is the caller's worker pool
+		IdleConnTimeout:     90 * time.Second,
+		TLSHandshakeTimeout: 10 * time.Second,
+		ForceAttemptHTTP2:   true,
+		DisableCompression:  disableCompression,
+	}
+}

@@ -1,0 +1,144 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// kneeFrac is the sustained-throughput criterion: a rate step "holds" when
+// goodput (plus separately-accounted degraded answers) reaches this
+// fraction of the offered rate. The knee is the last step that holds; past
+// it the server is saturated — offered load queues or sheds instead of
+// completing.
+const kneeFrac = 0.90
+
+// holds reports whether the step sustained its offered rate.
+func holds(r Result) bool {
+	if r.Invalid > 0 {
+		return false // contract violations disqualify a step outright
+	}
+	return (r.Goodput() + degradedRate(r)) >= kneeFrac*r.RateHz
+}
+
+func degradedRate(r Result) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Degraded) / r.Elapsed.Seconds()
+}
+
+// Knee returns the index of the last rate step that sustained its offered
+// rate, and false when even the first step saturated.
+func Knee(steps []Result) (int, bool) {
+	knee, ok := -1, false
+	for i, s := range steps {
+		if holds(s) {
+			knee, ok = i, true
+		}
+	}
+	return knee, ok
+}
+
+// WriteReport renders the sweep as a fixed-width table with the knee
+// marked, the shape the docs/perf.md "Load testing" section explains.
+func WriteReport(w io.Writer, steps []Result) error {
+	if _, err := fmt.Fprintf(w, "%-6s %-5s %-6s %8s %8s %8s %6s %6s %6s %9s %9s %9s %10s %6s\n",
+		"plane", "mode", "rate", "offered", "valid", "degr", "shed", "inval", "errs",
+		"p50", "p99", "p999", "goodput/s", "knee"); err != nil {
+		return err
+	}
+	kneeIdx, _ := Knee(steps)
+	for i, s := range steps {
+		mark := ""
+		if i == kneeIdx {
+			mark = "<-- knee"
+		} else if !holds(s) {
+			mark = "sat"
+		}
+		if _, err := fmt.Fprintf(w, "%-6s %-5s %6.0f %8d %8d %8d %6d %6d %6d %9s %9s %9s %10.1f %6s\n",
+			s.Plane, s.Mode, s.RateHz, s.Offered, s.Valid, s.Degraded, s.Shed, s.Invalid, s.Errors,
+			fmtLat(s.Latency.Quantile(0.5)), fmtLat(s.Latency.Quantile(0.99)), fmtLat(s.Latency.Quantile(0.999)),
+			s.Goodput(), mark); err != nil {
+			return err
+		}
+		if s.FirstViolation != "" {
+			if _, err := fmt.Fprintf(w, "       first violation: %s\n", s.FirstViolation); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fmtLat(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// BenchRow is one -json export row, shaped to pair with ecobench exports
+// under cmd/benchdiff: the shared (fig, dataset, method, config) key,
+// ft_ms carrying the p99 latency, sc_pct carrying the valid-answer share,
+// plus the load-specific columns benchdiff's goodput gate reads.
+type BenchRow struct {
+	Fig     string  `json:"fig"`
+	Dataset string  `json:"dataset"`
+	Method  string  `json:"method"`
+	Config  string  `json:"config"`
+	SCPct   float64 `json:"sc_pct"` // valid 200s as % of sent
+	FtMs    float64 `json:"ft_ms"`  // p99 latency in ms
+
+	Goodput  float64 `json:"goodput"` // valid 200s per second
+	P50Ms    float64 `json:"p50_ms"`
+	P999Ms   float64 `json:"p999_ms"`
+	ShedPct  float64 `json:"shed_pct"`
+	Offered  int     `json:"offered"`
+	Degraded int     `json:"degraded"`
+	Invalid  int     `json:"invalid"`
+	Errors   int     `json:"errors"`
+}
+
+// BenchRows converts a sweep into benchdiff-comparable rows, one per rate
+// step, keyed fig="load-knee", method="<target>-<plane>",
+// config="rate=<hz>".
+func BenchRows(dataset, target string, steps []Result) []BenchRow {
+	rows := make([]BenchRow, 0, len(steps))
+	for _, s := range steps {
+		validPct := 0.0
+		if s.Sent > 0 {
+			validPct = float64(s.Valid) / float64(s.Sent) * 100
+		}
+		rows = append(rows, BenchRow{
+			Fig:     "load-knee",
+			Dataset: dataset,
+			Method:  fmt.Sprintf("%s-%s", target, s.Plane),
+			Config:  fmt.Sprintf("rate=%.0f", s.RateHz),
+			SCPct:   validPct,
+			FtMs:    float64(s.Latency.Quantile(0.99)) / float64(time.Millisecond),
+
+			Goodput:  s.Goodput(),
+			P50Ms:    float64(s.Latency.Quantile(0.5)) / float64(time.Millisecond),
+			P999Ms:   float64(s.Latency.Quantile(0.999)) / float64(time.Millisecond),
+			ShedPct:  s.ShedRate() * 100,
+			Offered:  s.Offered,
+			Degraded: s.Degraded,
+			Invalid:  s.Invalid,
+			Errors:   s.Errors,
+		})
+	}
+	return rows
+}
+
+// WriteJSONRows exports rows in the array form benchdiff reads.
+func WriteJSONRows(w io.Writer, rows []BenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

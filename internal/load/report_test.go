@@ -1,0 +1,130 @@
+package load
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ecocharge/internal/obs"
+)
+
+// synthStep fabricates a completed rate step: n latencies around lat, with
+// the outcome counts given. Elapsed is pinned to exactly 1 s so goodput
+// equals the valid count.
+func synthStep(plane Plane, rate float64, valid, degraded, shed, invalid, errors int, lat time.Duration) Result {
+	h := &obs.LogHistogram{}
+	n := valid + degraded + shed + invalid + errors
+	for i := 0; i < n; i++ {
+		h.Observe(lat + time.Duration(i)*time.Microsecond)
+	}
+	return Result{
+		Plane: plane, RateHz: rate, Mode: "open",
+		Offered: n, Sent: n,
+		Valid: valid, Degraded: degraded, Shed: shed, Invalid: invalid, Errors: errors,
+		Elapsed: time.Second, MaxLat: lat, Latency: h,
+	}
+}
+
+func TestKneeSelection(t *testing.T) {
+	steps := []Result{
+		synthStep(PlaneWire, 100, 100, 0, 0, 0, 0, time.Millisecond),  // holds
+		synthStep(PlaneWire, 200, 150, 45, 0, 0, 5, time.Millisecond), // holds via degraded
+		synthStep(PlaneWire, 400, 200, 0, 200, 0, 0, time.Second),     // saturated: 50% goodput
+	}
+	idx, ok := Knee(steps)
+	if !ok || idx != 1 {
+		t.Fatalf("Knee=%d,%v, want 1,true", idx, ok)
+	}
+
+	// A contract violation disqualifies a step no matter its goodput.
+	steps[1].Invalid, steps[1].Valid = 1, steps[1].Valid-1
+	if idx, _ := Knee(steps); idx != 0 {
+		t.Fatalf("invalid step still counted as knee: idx=%d", idx)
+	}
+
+	// All saturated: no knee.
+	if _, ok := Knee(steps[2:]); ok {
+		t.Fatal("knee reported for an all-saturated sweep")
+	}
+	if _, ok := Knee(nil); ok {
+		t.Fatal("knee reported for an empty sweep")
+	}
+}
+
+func TestWriteReportMarksKneeAndViolations(t *testing.T) {
+	steps := []Result{
+		synthStep(PlaneJSON, 100, 100, 0, 0, 0, 0, 900*time.Microsecond),
+		synthStep(PlaneJSON, 400, 100, 0, 0, 1, 299, 2*time.Second),
+	}
+	steps[1].FirstViolation = "offering table misordered at rank 2"
+	var b strings.Builder
+	if err := WriteReport(&b, steps); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<-- knee", "sat", "first violation: offering table misordered", "µs", "s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchRowsRoundTrip(t *testing.T) {
+	steps := []Result{
+		synthStep(PlaneJSON, 100, 95, 2, 2, 0, 1, 3*time.Millisecond),
+		synthStep(PlaneWire, 100, 100, 0, 0, 0, 0, time.Millisecond),
+	}
+	rows := BenchRows("Oldenburg", "gateway", steps)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows for 2 steps", len(rows))
+	}
+	r := rows[0]
+	if r.Fig != "load-knee" || r.Dataset != "Oldenburg" || r.Method != "gateway-json" || r.Config != "rate=100" {
+		t.Fatalf("row key wrong: %+v", r)
+	}
+	if r.Goodput != steps[0].Goodput() || r.Goodput != 95 {
+		t.Fatalf("goodput %v, want 95 (1s elapsed, 95 valid)", r.Goodput)
+	}
+	if r.SCPct != 95 || r.Offered != 100 || r.Degraded != 2 || r.Errors != 1 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if r.ShedPct != steps[0].ShedRate()*100 || r.ShedPct != 2 {
+		t.Fatalf("shed_pct %v, want 2", r.ShedPct)
+	}
+	if r.FtMs < 3 || r.FtMs > 3.3 || r.P50Ms < 3 || r.P999Ms < r.P50Ms {
+		t.Fatalf("latency columns implausible: %+v", r)
+	}
+
+	// The JSON export must decode into rows benchdiff can key on.
+	var b strings.Builder
+	if err := WriteJSONRows(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	for _, key := range []string{"fig", "dataset", "method", "config", "sc_pct", "ft_ms", "goodput"} {
+		if _, ok := back[0][key]; !ok {
+			t.Fatalf("export row lacks %q: %v", key, back[0])
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for o := Outcome(0); o < outcomeCount; o++ {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "outcome(") {
+			t.Fatalf("outcome %d has no name", o)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate outcome name %q", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != int(outcomeCount) {
+		t.Fatalf("%d distinct names for %d outcomes", len(seen), outcomeCount)
+	}
+}

@@ -1,0 +1,74 @@
+package load
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestResultRates(t *testing.T) {
+	r := Result{Valid: 50, Shed: 25, Sent: 100, Elapsed: 2 * time.Second}
+	if got := r.Goodput(); got != 25 {
+		t.Fatalf("Goodput=%v, want 25", got)
+	}
+	if got := r.ShedRate(); got != 0.25 {
+		t.Fatalf("ShedRate=%v, want 0.25", got)
+	}
+	var zero Result
+	if zero.Goodput() != 0 || zero.ShedRate() != 0 {
+		t.Fatalf("zero-valued result must rate 0, got %v / %v", zero.Goodput(), zero.ShedRate())
+	}
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(Options{}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := NewRunner(Options{BaseURL: "http://x", Plane: Plane("carrier-pigeon")}); err == nil {
+		t.Fatal("unknown plane accepted")
+	}
+	r, err := NewRunner(Options{BaseURL: "http://x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := r.opts
+	if o.Plane != PlaneJSON || o.Timeout != 10*time.Second || o.Workers != 64 || o.HTTPClient == nil {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if tr, ok := o.HTTPClient.Transport.(*http.Transport); !ok || tr.DisableCompression {
+		t.Fatalf("JSON-plane default client misconfigured: %#v", o.HTTPClient.Transport)
+	}
+
+	// A caller-supplied client is kept verbatim.
+	custom := &http.Client{Timeout: time.Second}
+	r2, err := NewRunner(Options{BaseURL: "http://x", Plane: PlaneWire, HTTPClient: custom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.opts.HTTPClient != custom {
+		t.Fatal("caller-supplied HTTP client replaced")
+	}
+}
+
+func TestScheduleSpan(t *testing.T) {
+	if got := (Schedule{}).Span(); got != 0 {
+		t.Fatalf("empty span %v", got)
+	}
+	s := Schedule{0, time.Second, 3 * time.Second}
+	if got := s.Span(); got != 3*time.Second {
+		t.Fatalf("span %v, want 3s", got)
+	}
+}
+
+func TestFmtLat(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond:  "500µs",
+		2500 * time.Microsecond: "2.5ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for d, want := range cases {
+		if got := fmtLat(d); got != want {
+			t.Fatalf("fmtLat(%v)=%q, want %q", d, got, want)
+		}
+	}
+}

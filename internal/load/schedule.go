@@ -1,0 +1,120 @@
+// Package load is the open-loop load harness: seeded arrival schedules,
+// a trip-session query source over the trajectory sampler, an HTTP runner
+// that measures latency from *intended* send time (coordinated-omission
+// safe), response validation against the tabletest invariants, and the
+// rate-sweep report that locates the saturation knee.
+//
+// Open loop means the arrival schedule is fixed before the first request:
+// a slow server cannot slow the offered rate down, so queueing delay shows
+// up in the recorded latencies instead of silently vanishing — the
+// coordinated-omission failure mode of naive closed-loop harnesses.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Schedule is an ascending list of arrival offsets from the run start.
+// Schedules are values: deterministic for a given generator input and safe
+// to share read-only across worker goroutines.
+type Schedule []time.Duration
+
+// Span returns the offset of the last arrival (the nominal run length).
+func (s Schedule) Span() time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}
+
+// Constant returns n arrivals at exactly rate per second: the k-th arrival
+// at k/rate. Deterministic by construction (no seed).
+func Constant(rate float64, n int) (Schedule, error) {
+	if err := checkScheduleArgs(rate, n); err != nil {
+		return nil, err
+	}
+	s := make(Schedule, n)
+	for i := range s {
+		s[i] = time.Duration(float64(i+1) / rate * float64(time.Second))
+	}
+	return s, nil
+}
+
+// Poisson returns n arrivals of a Poisson process with the given rate:
+// i.i.d. exponential inter-arrival times of mean 1/rate, the stochastic
+// arrival model of the charging-demand literature. The same (rate, n,
+// seed) triple yields the byte-identical schedule on every platform
+// (math/rand's generator is specified, not implementation-defined).
+func Poisson(rate float64, n int, seed int64) (Schedule, error) {
+	if err := checkScheduleArgs(rate, n); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := make(Schedule, n)
+	var t float64 // seconds
+	for i := range s {
+		t += rng.ExpFloat64() / rate
+		s[i] = time.Duration(t * float64(time.Second))
+	}
+	return s, nil
+}
+
+// SplitPoisson returns `workers` independent Poisson schedules of rate/w
+// each, n arrivals in total, for pacing from multiple goroutines without
+// sharing an RNG. By the superposition property the merged union is again
+// a Poisson process at the full rate — TestSplitPoissonSuperposition pins
+// this — so splitting changes nothing about the offered workload. Worker
+// seeds derive deterministically from the base seed.
+func SplitPoisson(rate float64, n int, seed int64, workers int) ([]Schedule, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("load: workers must be positive, got %d", workers)
+	}
+	if err := checkScheduleArgs(rate, n); err != nil {
+		return nil, err
+	}
+	out := make([]Schedule, workers)
+	per := rate / float64(workers)
+	for w := range out {
+		nw := n / workers
+		if w < n%workers {
+			nw++
+		}
+		if nw == 0 {
+			out[w] = Schedule{}
+			continue
+		}
+		s, err := Poisson(per, nw, seed+int64(w)*0x9e3779b9)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = s
+	}
+	return out, nil
+}
+
+// MergeSchedules unions the parts into one ascending schedule.
+func MergeSchedules(parts ...Schedule) Schedule {
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	merged := make(Schedule, 0, total)
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	return merged
+}
+
+func checkScheduleArgs(rate float64, n int) error {
+	if rate <= 0 {
+		return fmt.Errorf("load: rate must be positive, got %v", rate)
+	}
+	if n <= 0 {
+		return fmt.Errorf("load: arrival count must be positive, got %d", n)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package load
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// scheduleBytes serializes a schedule so determinism can be asserted as
+// byte identity, not just value equality.
+func scheduleBytes(s Schedule) []byte {
+	out := make([]byte, 8*len(s))
+	for i, d := range s {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(d))
+	}
+	return out
+}
+
+// TestPoissonDeterministic: same (rate, n, seed) ⇒ byte-identical
+// schedule, different seed ⇒ different schedule. The whole harness's
+// reproducibility rests on this.
+func TestPoissonDeterministic(t *testing.T) {
+	check := func(seed int64) bool {
+		a, err1 := Poisson(200, 500, seed)
+		b, err2 := Poisson(200, 500, seed)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return string(scheduleBytes(a)) == string(scheduleBytes(b))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Poisson(200, 500, 1)
+	b, _ := Poisson(200, 500, 2)
+	if string(scheduleBytes(a)) == string(scheduleBytes(b)) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+// TestScheduleMonotone: offsets ascend strictly (Poisson) or strictly
+// (constant); arrivals never go back in time.
+func TestScheduleMonotone(t *testing.T) {
+	p, err := Poisson(1000, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Constant(1000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Schedule{p, c} {
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1] {
+				t.Fatalf("offset %d (%v) before offset %d (%v)", i, s[i], i-1, s[i-1])
+			}
+		}
+	}
+}
+
+// realizedRate is n arrivals over the schedule span.
+func realizedRate(s Schedule) float64 {
+	return float64(len(s)) / s.Span().Seconds()
+}
+
+// TestRateAccuracy: the realized rate of a schedule stays within
+// tolerance of nominal. For a Poisson process the span of n arrivals is
+// Gamma(n, 1/λ) with relative standard deviation 1/√n, so 5% at n=10000
+// is a ~5σ bound — deterministic seeds make this a regression test, not a
+// flake.
+func TestRateAccuracy(t *testing.T) {
+	const n, nominal = 10000, 400.0
+	for seed := int64(0); seed < 5; seed++ {
+		s, err := Poisson(nominal, n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := realizedRate(s); math.Abs(r-nominal)/nominal > 0.05 {
+			t.Fatalf("seed %d: realized rate %.1f/s, want %.0f/s ±5%%", seed, r, nominal)
+		}
+	}
+	c, err := Constant(nominal, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := realizedRate(c); math.Abs(r-nominal)/nominal > 1e-6 {
+		t.Fatalf("constant schedule realized %.4f/s, want exactly %.0f/s", r, nominal)
+	}
+}
+
+// TestSplitPoissonSuperposition: merging w independent Poisson(λ/w)
+// schedules must again be a Poisson(λ) process. Checked on the merged
+// inter-arrival times: exponential mean 1/λ (±5%) and coefficient of
+// variation 1 (±10%) — a constant-rate merge would give CV≈0 and a bursty
+// one CV≫1, so the band is discriminating.
+func TestSplitPoissonSuperposition(t *testing.T) {
+	const n, nominal, workers = 20000, 500.0, 8
+	parts, err := SplitPoisson(nominal, n, 99, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != workers {
+		t.Fatalf("got %d parts, want %d", len(parts), workers)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != n {
+		t.Fatalf("parts hold %d arrivals, want %d", total, n)
+	}
+	merged := MergeSchedules(parts...)
+	gaps := make([]float64, len(merged)-1)
+	var mean float64
+	for i := 1; i < len(merged); i++ {
+		g := (merged[i] - merged[i-1]).Seconds()
+		gaps[i-1] = g
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	if want := 1 / nominal; math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("merged mean inter-arrival %.6fs, want %.6fs ±5%%", mean, want)
+	}
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(varsum/float64(len(gaps))) / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Fatalf("merged inter-arrival CV %.3f, want ~1 (exponential); the merge broke the Poisson property", cv)
+	}
+	// Determinism carries through the split: same inputs, same bytes.
+	again, err := SplitPoisson(nominal, n, 99, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range parts {
+		if string(scheduleBytes(parts[w])) != string(scheduleBytes(again[w])) {
+			t.Fatalf("worker %d schedule not deterministic", w)
+		}
+	}
+}
+
+// TestScheduleArgValidation covers the error paths.
+func TestScheduleArgValidation(t *testing.T) {
+	if _, err := Poisson(0, 10, 1); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	if _, err := Constant(100, 0); err == nil {
+		t.Fatal("n 0 accepted")
+	}
+	if _, err := SplitPoisson(100, 10, 1, 0); err == nil {
+		t.Fatal("workers 0 accepted")
+	}
+	// More workers than arrivals: empty tails allowed, total preserved.
+	parts, err := SplitPoisson(100, 3, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(MergeSchedules(parts...)); got != 3 {
+		t.Fatalf("merged %d arrivals, want 3", got)
+	}
+}

@@ -1,0 +1,137 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ecocharge/internal/charger"
+	"ecocharge/internal/cknn"
+	"ecocharge/internal/cknn/tabletest"
+	"ecocharge/internal/eis"
+	"ecocharge/internal/interval"
+	"ecocharge/internal/wire"
+)
+
+// Outcome classifies one response for the goodput accounting.
+type Outcome int
+
+const (
+	// OutcomeValid is a 200 whose table passes every tabletest invariant
+	// and carries no degraded marker — the only bucket goodput counts.
+	OutcomeValid Outcome = iota
+	// OutcomeDegraded is a tabletest-valid 200 that carries degraded
+	// entries or the X-Fleet-Degraded header: a correct answer computed
+	// under partial knowledge. Accounted separately from goodput.
+	OutcomeDegraded
+	// OutcomeShed is a 503 with a parseable Retry-After — the documented
+	// overload answer.
+	OutcomeShed
+	// OutcomeInvalid is a 200 whose body fails decoding or violates a
+	// tabletest invariant, or a 503 without a parseable Retry-After: a
+	// contract violation, never acceptable at any load.
+	OutcomeInvalid
+	// OutcomeError is a transport failure, timeout, or unexpected status.
+	OutcomeError
+	outcomeCount
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeValid:
+		return "valid"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeInvalid:
+		return "invalid"
+	default:
+		return "error"
+	}
+}
+
+// degradedHeader is the gateway's partial-merge marker (fleet package).
+const degradedHeader = "X-Fleet-Degraded"
+
+// Classify validates one HTTP exchange against the overload contract:
+// every response must be a tabletest-valid 200 or a 503 with parseable
+// Retry-After; anything else is a violation. The returned error explains
+// Invalid/Error outcomes for the contract suite's failure messages.
+func Classify(status int, header http.Header, body []byte, k int) (Outcome, error) {
+	switch status {
+	case http.StatusOK:
+		resp, err := decodeOffering(header.Get("Content-Type"), body)
+		if err != nil {
+			return OutcomeInvalid, err
+		}
+		if err := checkTable(resp, k); err != nil {
+			return OutcomeInvalid, err
+		}
+		if isDegraded(header, resp) {
+			return OutcomeDegraded, nil
+		}
+		return OutcomeValid, nil
+	case http.StatusServiceUnavailable:
+		if _, ok := eis.ParseRetryAfter(header.Get("Retry-After"), time.Now()); !ok {
+			return OutcomeInvalid, fmt.Errorf("503 without parseable Retry-After (%q)", header.Get("Retry-After"))
+		}
+		return OutcomeShed, nil
+	default:
+		return OutcomeError, fmt.Errorf("unexpected status %d: %.200s", status, body)
+	}
+}
+
+// decodeOffering parses the body by its Content-Type: binary wire frames
+// or JSON, the same negotiation the servers perform.
+func decodeOffering(contentType string, body []byte) (*wire.OfferingResponse, error) {
+	var resp wire.OfferingResponse
+	if wire.IsWire(contentType) {
+		if err := wire.DecodeOfferingResponse(body, &resp); err != nil {
+			return nil, fmt.Errorf("wire body corrupt: %w", err)
+		}
+		return &resp, nil
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("JSON body corrupt: %w", err)
+	}
+	return &resp, nil
+}
+
+// checkTable rebuilds a cknn table from the response entries and runs the
+// full tabletest invariant suite on it. The chargers are synthesized from
+// the entry IDs — everything tabletest reads (IDs for duplicate detection
+// and tie-breaks, score/component intervals, degraded bits) travels in the
+// response, so the check needs no environment and works against any
+// remote target.
+func checkTable(resp *wire.OfferingResponse, k int) error {
+	tab := cknn.OfferingTable{GeneratedAt: resp.GeneratedAt}
+	stubs := make([]charger.Charger, len(resp.Entries))
+	for i, e := range resp.Entries {
+		stubs[i] = charger.Charger{ID: e.ChargerID}
+		tab.Entries = append(tab.Entries, cknn.Entry{
+			Charger: &stubs[i],
+			SC:      interval.FromBounds(e.SC.Min, e.SC.Max),
+			Comp: cknn.Components{
+				L: e.L.Interval(), A: e.A.Interval(), D: e.D.Interval(),
+				Degraded: cknn.Degraded(e.Degraded),
+			},
+		})
+	}
+	return tabletest.Err(tab, k, tabletest.Options{})
+}
+
+// isDegraded reports whether the response carries any degraded marker:
+// the gateway's partial-merge header or per-entry degraded bits.
+func isDegraded(header http.Header, resp *wire.OfferingResponse) bool {
+	if header.Get(degradedHeader) != "" {
+		return true
+	}
+	for _, e := range resp.Entries {
+		if e.Degraded != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// logHistMaxRelErr is the quantization guarantee under test: a reported
+// quantile never under-states the true order statistic and over-states it
+// by at most one sub-bucket width (2^-logSubBits = 3.125%), plus 1 ns for
+// the inclusive-bound rounding.
+const logHistMaxRelErr = 1.0 / logSubCount
+
+// exactQuantile is the sorted-sample oracle with the same rank definition
+// Quantile uses: the ceil(q·n)-th smallest sample (1-based).
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestLogHistogramQuantileOracle drives random latency distributions
+// through the histogram and checks every reported quantile against the
+// exact sorted-sample oracle within the quantization bound — the
+// correctness contract the load harness's p50/p99/p999 numbers rest on.
+func TestLogHistogramQuantileOracle(t *testing.T) {
+	quantiles := []float64{0, 0.5, 0.9, 0.99, 0.999, 1}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5000)
+		// Mix three regimes so one run spans several orders of magnitude:
+		// microsecond-scale service times, millisecond bulk, and a heavy
+		// seconds-scale tail (the shape an overloaded open-loop run records).
+		samples := make([]time.Duration, n)
+		h := NewLogHistogram()
+		for i := range samples {
+			var d time.Duration
+			switch rng.Intn(3) {
+			case 0:
+				d = time.Duration(rng.Int63n(int64(50 * time.Microsecond)))
+			case 1:
+				d = time.Duration(float64(5*time.Millisecond) * rng.ExpFloat64())
+			default:
+				d = time.Duration(float64(time.Second) * math.Pow(rng.Float64(), 4))
+			}
+			samples[i] = d
+			h.Observe(d)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			got, want := h.Quantile(q), exactQuantile(samples, q)
+			if got < want {
+				t.Logf("seed %d q=%v: estimate %v below true %v", seed, q, got, want)
+				return false
+			}
+			if float64(got) > float64(want)*(1+logHistMaxRelErr)+1 {
+				t.Logf("seed %d q=%v: estimate %v exceeds true %v beyond the %.2f%% bound",
+					seed, q, got, want, 100*logHistMaxRelErr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogHistogramBucketLayout pins the index/bound round trip: every
+// value lands in a bucket whose bound is ≥ the value and within one
+// sub-bucket width of it, indexes are monotone, and the extremes of the
+// uint64 range stay inside the fixed array.
+func TestLogHistogramBucketLayout(t *testing.T) {
+	vals := []uint64{0, 1, 31, 32, 63, 64, 65, 127, 128, 1023, 1 << 20, 1<<20 + 3,
+		uint64(time.Second), uint64(time.Hour), 1 << 62, math.MaxInt64, math.MaxUint64}
+	prev := -1
+	for _, v := range vals {
+		idx := logBucketIndex(v)
+		if idx < 0 || idx >= logBucketCount {
+			t.Fatalf("value %d: index %d outside [0,%d)", v, idx, logBucketCount)
+		}
+		if idx < prev {
+			t.Fatalf("value %d: index %d not monotone (previous %d)", v, idx, prev)
+		}
+		prev = idx
+		bound := logBucketBound(idx)
+		if bound < v {
+			t.Fatalf("value %d: bucket bound %d below the value", v, bound)
+		}
+		if v >= 2*logSubCount && float64(bound) > float64(v)*(1+logHistMaxRelErr)+1 {
+			t.Fatalf("value %d: bucket bound %d beyond the %.2f%% width bound", v, bound, 100*logHistMaxRelErr)
+		}
+		if idx > 0 && logBucketBound(idx-1) >= v {
+			t.Fatalf("value %d: previous bucket %d already covers it (bound %d)", v, idx-1, logBucketBound(idx-1))
+		}
+	}
+}
+
+// TestLogHistogramEdges covers the nil/empty/degenerate contract.
+func TestLogHistogramEdges(t *testing.T) {
+	var nilH *LogHistogram
+	nilH.Observe(time.Second) // must not panic
+	nilH.Merge(NewLogHistogram())
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+	h := NewLogHistogram()
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	h.Observe(-time.Second) // clock step: clamps to 0, still counted
+	if h.Count() != 1 || h.Quantile(1) != 0 {
+		t.Fatalf("negative observation: count=%d q1=%v, want 1 and 0", h.Count(), h.Quantile(1))
+	}
+	h.Observe(42 * time.Millisecond)
+	if got := h.Sum(); got != 42*time.Millisecond {
+		t.Fatalf("Sum=%v, want 42ms", got)
+	}
+}
+
+// TestLogHistogramMerge proves merged per-worker histograms report the
+// same quantiles as one shared histogram fed everything.
+func TestLogHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shared := NewLogHistogram()
+	parts := []*LogHistogram{NewLogHistogram(), NewLogHistogram(), NewLogHistogram()}
+	for i := 0; i < 3000; i++ {
+		d := time.Duration(rng.Int63n(int64(2 * time.Second)))
+		shared.Observe(d)
+		parts[i%len(parts)].Observe(d)
+	}
+	merged := NewLogHistogram()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != shared.Count() || merged.Sum() != shared.Sum() {
+		t.Fatalf("merge lost observations: count %d vs %d", merged.Count(), shared.Count())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != shared.Quantile(q) {
+			t.Fatalf("q=%v: merged %v != shared %v", q, merged.Quantile(q), shared.Quantile(q))
+		}
+	}
+}
+
+// TestLogHistogramObserveZeroAlloc is the same hot-path discipline gate
+// the fixed-bucket histogram passes: recording a latency sample must not
+// allocate, live or nil.
+func TestLogHistogramObserveZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the no-race CI lane runs this")
+	}
+	h := NewLogHistogram()
+	var nilH *LogHistogram
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Observe", func() { h.Observe(1234567 * time.Nanosecond) }},
+		{"nil.Observe", func() { nilH.Observe(time.Millisecond) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("LogHistogram.%s allocates %.1f per op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestLogHistogramExposition checks the registry round trip: summary-form
+// text exposition and the Snapshot keys the -json rows embed.
+func TestLogHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.LogHistogram("load_latency_seconds")
+	if h2 := r.LogHistogram("load_latency_seconds"); h2 != h {
+		t.Fatal("lookup is not idempotent")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE load_latency_seconds summary",
+		`load_latency_seconds{quantile="0.5"}`,
+		`load_latency_seconds{quantile="0.999"}`,
+		"load_latency_seconds_count 1000",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["load_latency_seconds_count"] != 1000 {
+		t.Fatalf("snapshot count = %v, want 1000", snap["load_latency_seconds_count"])
+	}
+	p999 := snap["load_latency_seconds_p999"]
+	if p999 < 0.99 || p999 > 1.04 {
+		t.Fatalf("snapshot p999 = %v, want ~0.999s within the quantization bound", p999)
+	}
+	var nilReg *Registry
+	if nilReg.LogHistogram("x") != nil {
+		t.Fatal("nil registry must return the discarding handle")
+	}
+}
+
+func BenchmarkLogHistogramObserve(b *testing.B) {
+	h := NewLogHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+}

@@ -41,6 +41,14 @@ func (p *Profile) GenerateTrips(g *roadnet.Graph, scale float64, seed int64, sta
 	return Generate(g, p.tripConfig(n, seed, start))
 }
 
+// SamplerConfig returns the profile's generator settings for streaming an
+// unbounded trip sequence via NewSampler (GenConfig.N is left 0: the
+// sampler has no trip bound). Apart from N it is the exact config
+// GenerateTrips uses, so a streamed prefix matches a generated slice.
+func (p *Profile) SamplerConfig(seed int64, start time.Time) GenConfig {
+	return p.tripConfig(0, seed, start)
+}
+
 // ProfileByName returns the named profile or an error listing valid names.
 func ProfileByName(name string) (*Profile, error) {
 	for _, p := range Profiles() {

@@ -5,8 +5,6 @@
 package trajectory
 
 import (
-	"fmt"
-	"math/rand"
 	"time"
 
 	"ecocharge/internal/geo"
@@ -216,60 +214,22 @@ type GenConfig struct {
 
 // Generate builds N trips on the graph. It returns an error when the graph
 // is too small or too disconnected to satisfy the constraints after a
-// bounded number of attempts per trip.
+// bounded number of attempts per trip. It is a collector over Sampler, so
+// generated slices and streamed trips are byte-identical for a given
+// config (TestSamplerMatchesGenerate pins this).
 func Generate(g *roadnet.Graph, cfg GenConfig) ([]Trip, error) {
-	if g.NumNodes() < 2 {
-		return nil, fmt.Errorf("trajectory: graph too small (%d nodes)", g.NumNodes())
+	s, err := NewSampler(g, cfg)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.N <= 0 {
 		return nil, nil
 	}
-	if cfg.Window <= 0 {
-		cfg.Window = time.Hour
-	}
-	if cfg.Hotspots <= 0 {
-		cfg.Hotspots = 5
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	hot := make([]roadnet.NodeID, cfg.Hotspots)
-	for i := range hot {
-		hot[i] = roadnet.NodeID(rng.Intn(g.NumNodes()))
-	}
-	pick := func(hotBiased bool) roadnet.NodeID {
-		if hotBiased && rng.Float64() < cfg.HotspotFrac {
-			return hot[rng.Intn(len(hot))]
-		}
-		return roadnet.NodeID(rng.Intn(g.NumNodes()))
-	}
 	trips := make([]Trip, 0, cfg.N)
-	const maxAttempts = 200
 	for i := 0; i < cfg.N; i++ {
-		var trip Trip
-		ok := false
-		for attempt := 0; attempt < maxAttempts; attempt++ {
-			src := pick(true)
-			dst := pick(true)
-			if src == dst {
-				continue
-			}
-			path, found := g.ShortestPath(src, dst, roadnet.DistanceWeight)
-			if !found {
-				continue
-			}
-			km := path.Weight / 1000
-			if km < cfg.MinTripKM {
-				continue
-			}
-			if cfg.MaxTripKM > 0 && km > cfg.MaxTripKM {
-				continue
-			}
-			depart := cfg.Start.Add(time.Duration(rng.Float64() * float64(cfg.Window)))
-			trip = Trip{ID: int64(i + 1), Path: path, Depart: depart}
-			ok = true
-			break
-		}
-		if !ok {
-			return nil, fmt.Errorf("trajectory: could not generate trip %d within %d attempts (graph connectivity or length constraints too strict)", i, maxAttempts)
+		trip, err := s.Next()
+		if err != nil {
+			return nil, err
 		}
 		trips = append(trips, trip)
 	}
